@@ -1,0 +1,36 @@
+"""Benchmark report collection.
+
+Each bench registers the table/series it regenerated; the conftest's
+``pytest_terminal_summary`` hook prints every block at the end of the run,
+so ``pytest benchmarks/ --benchmark-only`` emits the paper-comparison tables
+without needing ``-s``.  Blocks are also appended to
+``benchmarks/results/latest.txt`` for EXPERIMENTS.md regeneration.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+_REPORTS: list[tuple[str, str]] = []
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def add_report(title: str, body: str) -> None:
+    """Register a rendered table/series for the terminal summary."""
+    _REPORTS.append((title, body))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with open(RESULTS_DIR / "latest.txt", "a", encoding="utf-8") as fh:
+        fh.write(f"== {title} ==\n{body}\n\n")
+
+
+def drain_reports() -> list[tuple[str, str]]:
+    """Return and clear all registered reports."""
+    global _REPORTS
+    out, _REPORTS = _REPORTS, []
+    return out
+
+
+def reset_results_file() -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "latest.txt").write_text("", encoding="utf-8")

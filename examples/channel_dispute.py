@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Payment-channel dispute: a stale-state closure gets challenged.
+
+After many paid requests, the light client tries to settle the channel with
+its *first* (cheapest) signed state.  The full node — which retained the
+newest cumulative payment signature, its money — challenges within the
+dispute window; the CMM acknowledges the higher state, resets the window,
+and finally settles at the correct amount (paper §IV-E.4).
+
+Run:  python examples/channel_dispute.py
+"""
+
+from repro.chain import GenesisConfig
+from repro.contracts import CHANNELS_MODULE_ADDRESS, DEPOSIT_MODULE_ADDRESS
+from repro.crypto import PrivateKey
+from repro.lightclient import HeaderSyncer
+from repro.node import Devnet, FullNode
+from repro.parp import (
+    FullNodeServer,
+    LightClientSession,
+    MIN_FULL_NODE_DEPOSIT,
+)
+from repro.parp.constants import DISPUTE_WINDOW_BLOCKS
+from repro.parp.messages import payment_digest
+
+TOKEN = 10 ** 18
+
+
+def main() -> None:
+    fn_operator = PrivateKey.from_seed("dispute:fn")
+    light_client = PrivateKey.from_seed("dispute:lc")
+    alice = PrivateKey.from_seed("dispute:alice")
+
+    net = Devnet(GenesisConfig(allocations={
+        fn_operator.address: 100 * TOKEN,
+        light_client.address: 10 * TOKEN,
+        alice.address: 2 * TOKEN,
+    }))
+    net.execute(fn_operator, DEPOSIT_MODULE_ADDRESS, "deposit",
+                value=MIN_FULL_NODE_DEPOSIT)
+
+    server = FullNodeServer(FullNode(net.chain, key=fn_operator))
+    session = LightClientSession(light_client, server, HeaderSyncer([server]))
+    alpha = session.connect(budget=10 ** 15)
+
+    # several paid requests: the cumulative amount climbs
+    for _ in range(5):
+        session.get_balance(alice.address)
+    newest = session.channel.spent
+    stale = session.history[0].amount_paid
+    print(f"after 5 requests: newest signed state = {newest / 10**9:.0f} gwei,"
+          f" first state = {stale / 10**9:.0f} gwei")
+
+    # the client (dishonestly) closes with its FIRST state
+    stale_sig = light_client.sign(payment_digest(alpha, stale)).to_bytes()
+    net.execute(light_client, CHANNELS_MODULE_ADDRESS, "close_channel",
+                [alpha, stale, stale_sig])
+    print(f"\nlight client closed the channel claiming only "
+          f"{stale / 10**9:.0f} gwei owed")
+
+    # the server notices and challenges with its retained payment proof
+    alpha_b, amount, sig = server.channels[alpha].redeemable_state()
+    nonce = net.chain.state.nonce_of(fn_operator.address)
+    result = net.execute(fn_operator, CHANNELS_MODULE_ADDRESS, "submit_state",
+                         [alpha_b, amount, sig])
+    assert result.succeeded
+    print(f"full node challenged with the newest state "
+          f"({amount / 10**9:.0f} gwei); dispute window reset")
+
+    # after the (reset) window, anyone can settle
+    net.advance_blocks(DISPUTE_WINDOW_BLOCKS + 1)
+    fn_before = net.balance_of(fn_operator.address)
+    lc_before = net.balance_of(light_client.address)
+    settle = net.execute(fn_operator, CHANNELS_MODULE_ADDRESS,
+                         "confirm_closure", [alpha])
+    assert settle.succeeded
+
+    fn_gain = net.balance_of(fn_operator.address) - fn_before
+    gas_paid = settle.gas_used * 12 * 10 ** 9
+    print("\n-- settlement --")
+    print(f"full node received:  {(fn_gain + gas_paid) / 10**9:.0f} gwei "
+          f"(the newest state, not the stale one)")
+    print(f"client refunded:     "
+          f"{(net.balance_of(light_client.address) - lc_before) / 10**9:.0f}"
+          f" gwei of unspent budget")
+    print("the stale-state underpayment attempt failed")
+
+
+if __name__ == "__main__":
+    main()

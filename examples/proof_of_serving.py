@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Proof of Serving: turning payment receipts into network rewards (§VIII).
+
+Two full nodes serve different numbers of light clients.  At the end of an
+epoch each aggregates its channels' payment proofs — the (α, a, σ_a)
+triples it already holds — into a claim.  A reward pool validates every
+receipt against the *on-chain* channel records (so Sybil receipts backed by
+no real locked budget weigh nothing) and splits the epoch reward
+proportionally to verified serving volume.
+
+Run:  python examples/proof_of_serving.py
+"""
+
+from repro.chain import GenesisConfig
+from repro.contracts import CHANNELS_MODULE_ADDRESS, DEPOSIT_MODULE_ADDRESS
+from repro.crypto import PrivateKey
+from repro.crypto.keys import Address
+from repro.lightclient import HeaderSyncer
+from repro.node import Devnet, FullNode
+from repro.parp import (
+    FullNodeServer,
+    LightClientSession,
+    MIN_FULL_NODE_DEPOSIT,
+)
+from repro.parp.messages import payment_digest
+from repro.parp.proof_of_serving import (
+    EpochClaim,
+    ReceiptValidator,
+    RewardPool,
+    ServingReceipt,
+)
+
+TOKEN = 10 ** 18
+EPOCH_REWARD = 5 * TOKEN
+
+
+def main() -> None:
+    operators = [PrivateKey.from_seed(f"pos:fn{i}") for i in range(2)]
+    clients = [PrivateKey.from_seed(f"pos:lc{i}") for i in range(3)]
+    alice = PrivateKey.from_seed("pos:alice")
+
+    allocations = {op.address: 100 * TOKEN for op in operators}
+    allocations.update({c.address: 10 * TOKEN for c in clients})
+    allocations[alice.address] = TOKEN
+    net = Devnet(GenesisConfig(allocations=allocations))
+
+    servers = []
+    for i, op in enumerate(operators):
+        net.execute(op, DEPOSIT_MODULE_ADDRESS, "deposit",
+                    value=MIN_FULL_NODE_DEPOSIT)
+        servers.append(FullNodeServer(
+            FullNode(net.chain, key=op, name=f"node-{i}")))
+
+    # node-0 serves two clients heavily; node-1 serves one client lightly
+    load = [(servers[0], clients[0], 6), (servers[0], clients[1], 4),
+            (servers[1], clients[2], 2)]
+    for server, client_key, requests in load:
+        session = LightClientSession(
+            client_key, server, HeaderSyncer([server]))
+        session.connect(budget=10 ** 15)
+        for _ in range(requests):
+            session.get_balance(alice.address)
+        print(f"{server.node.name} served {requests} paid requests for "
+              f"{client_key.address.hex()[:10]}…")
+
+    # -- epoch end: aggregate receipts ------------------------------------- #
+    claims = []
+    for server in servers:
+        claim = EpochClaim(server.address)
+        for alpha, channel in server.channels.items():
+            if channel.latest_sig is None:
+                continue
+            claim.add(ServingReceipt(
+                alpha=alpha, full_node=server.address,
+                light_client=channel.light_client,
+                amount=channel.latest_amount,
+                signature=channel.latest_sig,
+            ))
+        claims.append(claim)
+
+    # a Sybil node fabricates receipts from a fake client with no channel
+    sybil_operator = PrivateKey.from_seed("pos:sybil-fn")
+    fake_client = PrivateKey.from_seed("pos:fake-lc")
+    fake_alpha = b"\xfa" * 16
+    sybil_claim = EpochClaim(sybil_operator.address)
+    sybil_claim.add(ServingReceipt(
+        alpha=fake_alpha, full_node=sybil_operator.address,
+        light_client=fake_client.address, amount=10 ** 18,
+        signature=fake_client.sign(
+            payment_digest(fake_alpha, 10 ** 18)).to_bytes(),
+    ))
+    claims.append(sybil_claim)
+    print("\na Sybil operator submits a fabricated 1-token receipt…")
+
+    # -- validate against the real CMM and distribute ------------------------ #
+    def channel_lookup(alpha):
+        lc, fn, budget, _cs, status, _dl = net.call_view(
+            CHANNELS_MODULE_ADDRESS, "get_channel", [alpha])
+        if status == 0:
+            return None
+        return Address(lc), Address(fn), budget, status
+
+    pool = RewardPool(epoch_reward=EPOCH_REWARD,
+                      validator=ReceiptValidator(channel_lookup))
+    payouts = pool.distribute(claims)
+
+    print(f"\nepoch reward: {EPOCH_REWARD / TOKEN:.0f} tokens, split by "
+          "verified serving volume:")
+    names = {servers[0].address: "node-0", servers[1].address: "node-1",
+             sybil_operator.address: "sybil"}
+    for address, payout in sorted(payouts.items(),
+                                  key=lambda kv: -kv[1]):
+        print(f"  {names[address]:7s} {payout / TOKEN:.2f} tokens")
+    assert payouts[sybil_operator.address] == 0
+    print("\nthe Sybil claim earned nothing: its receipts have no on-chain "
+          "channel backing")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Legacy shim so `pip install -e .` works on toolchains without `wheel`."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,24 @@
+"""repro — a full Python reproduction of PARP, the Permissionless
+Accountable RPC Protocol for blockchain networks (ICDCS 2025).
+
+Layering (bottom up):
+
+* :mod:`repro.crypto`, :mod:`repro.rlp`, :mod:`repro.trie` — Ethereum
+  primitives implemented from scratch (Keccak-256, secp256k1 ECDSA with
+  recovery, RLP, Merkle Patricia Tries with proofs).
+* :mod:`repro.chain`, :mod:`repro.vm`, :mod:`repro.contracts` — the
+  devnet chain, the gas-metered contract runtime, and the three PARP
+  on-chain modules (deposits, channels, fraud detection).
+* :mod:`repro.rpc` — the plain JSON-RPC baseline.
+* :mod:`repro.parp` — the protocol itself: light-client sessions, serving
+  engines, payment channels, fraud proofs, witnesses, plus the paper's
+  future-work extensions (PCN routing, proof-of-serving, reputation).
+* :mod:`repro.net`, :mod:`repro.node`, :mod:`repro.lightclient` — the
+  simulated network and node assemblies everything runs on.
+
+Quickstart: see ``examples/quickstart.py`` or run ``parp-demo quickstart``.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,12 @@
+"""Analyses behind the paper's motivation section (Table I)."""
+
+from .providers import PROVIDER_PROFILES, ProviderProfile
+from .traffic import ProviderShare, compare_with_published, compute_traffic_shares
+
+__all__ = [
+    "PROVIDER_PROFILES",
+    "ProviderProfile",
+    "ProviderShare",
+    "compute_traffic_shares",
+    "compare_with_published",
+]

@@ -1,0 +1,71 @@
+"""The node-provider feature matrix of Table I (§II-C survey).
+
+The paper inspects five top providers' registration requirements, pricing,
+and payment methods ("all the data was collected before December 2024").
+This is cited survey data, reproduced as structured constants so the
+Table I bench can render the matrix next to the measured traffic shares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ProviderProfile", "PROVIDER_PROFILES"]
+
+
+@dataclass(frozen=True)
+class ProviderProfile:
+    """One provider row of Table I."""
+
+    name: str
+    free_public_no_signup: bool
+    login_via_wallet: bool          # wallet-based identity supported
+    signup_email: bool              # email required at sign-up
+    signup_full_name: bool
+    signup_org_name: bool
+    call_based_pricing: bool
+    plan_tiers: int
+    free_usage: str                 # provider-defined free-tier metric
+    pays_credit_card: bool
+    pays_crypto: bool
+    notes: str = ""
+
+
+PROVIDER_PROFILES: dict[str, ProviderProfile] = {
+    "infura": ProviderProfile(
+        name="Infura", free_public_no_signup=False, login_via_wallet=False,
+        signup_email=True, signup_full_name=True, signup_org_name=False,
+        call_based_pricing=False, plan_tiers=5,
+        free_usage="3 million credits (daily)",
+        pays_credit_card=True, pays_crypto=False,
+    ),
+    "alchemy": ProviderProfile(
+        name="Alchemy", free_public_no_signup=False, login_via_wallet=False,
+        signup_email=True, signup_full_name=True, signup_org_name=False,
+        call_based_pricing=True, plan_tiers=4,
+        free_usage="300 million compute units (monthly)",
+        pays_credit_card=True, pays_crypto=False,
+    ),
+    "ankr": ProviderProfile(
+        name="Ankr", free_public_no_signup=True, login_via_wallet=True,
+        signup_email=False, signup_full_name=False, signup_org_name=False,
+        call_based_pricing=False, plan_tiers=4,
+        free_usage="30 requests (per sec)",
+        pays_credit_card=True, pays_crypto=True,
+        notes="wallets must have prior activity to be supported",
+    ),
+    "quicknode": ProviderProfile(
+        name="Quicknode", free_public_no_signup=False, login_via_wallet=False,
+        signup_email=True, signup_full_name=True, signup_org_name=True,
+        call_based_pricing=True, plan_tiers=5,
+        free_usage="10 million API credits (monthly)",
+        pays_credit_card=True, pays_crypto=False,
+    ),
+    "chainstack": ProviderProfile(
+        name="Chainstack", free_public_no_signup=False, login_via_wallet=False,
+        signup_email=True, signup_full_name=True, signup_org_name=True,
+        call_based_pricing=True, plan_tiers=4,
+        free_usage="3 million request units (monthly)",
+        pays_credit_card=True, pays_crypto=True,
+    ),
+}

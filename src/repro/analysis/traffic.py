@@ -1,0 +1,64 @@
+"""Traffic-share analysis for Table I (§II-B centralization study).
+
+The pipeline mirrors the paper's: take per-dApp JSON-RPC call records,
+map each call's endpoint to a provider, count *distinct dApps* per provider
+(a dApp may use several providers), and express shares over the 383
+frontend-RPC dApps.  Runs on real or synthetic record sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..workloads.dapp_traffic import PUBLISHED_SHARES, RpcCallRecord, TOTAL_RPC_DAPPS
+
+__all__ = ["ProviderShare", "compute_traffic_shares", "compare_with_published"]
+
+
+@dataclass(frozen=True)
+class ProviderShare:
+    """One provider's measured share."""
+
+    provider: str
+    dapps: int
+    total_dapps: int
+    share: float
+
+    def format_paper_style(self) -> str:
+        """Render like Table I: '182/383 (47.52%)'."""
+        return f"{self.dapps}/{self.total_dapps} ({self.share * 100:.2f}%)"
+
+
+def compute_traffic_shares(records: list[RpcCallRecord],
+                           total_dapps: int = TOTAL_RPC_DAPPS) -> list[ProviderShare]:
+    """Distinct-dApp counts per provider, sorted by descending share."""
+    dapps_by_provider: dict[str, set[int]] = {}
+    for record in records:
+        dapps_by_provider.setdefault(record.provider, set()).add(record.dapp_id)
+    shares = [
+        ProviderShare(
+            provider=provider,
+            dapps=len(dapps),
+            total_dapps=total_dapps,
+            share=len(dapps) / total_dapps,
+        )
+        for provider, dapps in dapps_by_provider.items()
+    ]
+    return sorted(shares, key=lambda s: s.share, reverse=True)
+
+
+def compare_with_published(shares: list[ProviderShare]) -> list[tuple[str, float, float, float]]:
+    """(provider, measured %, published %, abs diff in points) rows."""
+    rows = []
+    published = {p: pct for p, (_, pct) in PUBLISHED_SHARES.items()}
+    for share in shares:
+        paper = published.get(share.provider)
+        if paper is None:
+            continue
+        rows.append((
+            share.provider,
+            round(share.share * 100, 2),
+            round(paper * 100, 2),
+            round(abs(share.share - paper) * 100, 2),
+        ))
+    return rows

@@ -1,0 +1,30 @@
+"""Blockchain substrate: accounts, state, transactions, blocks, chain."""
+
+from .account import Account
+from .block import Block, build_receipt_trie, build_transaction_trie, index_key
+from .chain import Blockchain, ChainError
+from .genesis import GenesisConfig, make_genesis_block
+from .header import BlockHeader
+from .receipt import LogEntry, Receipt
+from .state import InsufficientBalance, StateDB
+from .transaction import Transaction, TransactionError, UnsignedTransaction
+
+__all__ = [
+    "Account",
+    "Block",
+    "BlockHeader",
+    "Blockchain",
+    "ChainError",
+    "GenesisConfig",
+    "InsufficientBalance",
+    "LogEntry",
+    "Receipt",
+    "StateDB",
+    "Transaction",
+    "TransactionError",
+    "UnsignedTransaction",
+    "build_transaction_trie",
+    "build_receipt_trie",
+    "index_key",
+    "make_genesis_block",
+]

@@ -1,0 +1,95 @@
+"""Blocks: a header plus an ordered transaction list, with trie helpers.
+
+The transaction and receipt tries are built exactly as in Ethereum: keys are
+``rlp(index)`` and values are the canonical encodings.  These tries back the
+inclusion proofs PARP attaches to write-workload responses (Fig. 6 of the
+paper studies precisely how their proof sizes vary with the transaction
+index and block size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from ..rlp import codec as rlp
+from ..trie.mpt import MerklePatriciaTrie
+from .header import BlockHeader
+from .receipt import Receipt
+from .transaction import Transaction
+
+__all__ = ["Block", "build_transaction_trie", "build_receipt_trie", "index_key"]
+
+
+def index_key(index: int) -> bytes:
+    """Trie key for position ``index``: the RLP of the integer."""
+    return rlp.encode(rlp.encode_int(index))
+
+
+def build_transaction_trie(transactions: list[Transaction]) -> MerklePatriciaTrie:
+    """The per-block transaction trie: rlp(i) -> tx.encode()."""
+    trie = MerklePatriciaTrie()
+    for index, tx in enumerate(transactions):
+        trie.put(index_key(index), tx.encode())
+    return trie
+
+
+def build_receipt_trie(receipts: list[Receipt]) -> MerklePatriciaTrie:
+    """The per-block receipt trie: rlp(i) -> receipt.encode()."""
+    trie = MerklePatriciaTrie()
+    for index, receipt in enumerate(receipts):
+        trie.put(index_key(index), receipt.encode())
+    return trie
+
+
+@dataclass(frozen=True)
+class Block:
+    """An executed block: header committing to body and post-state."""
+
+    header: BlockHeader
+    transactions: tuple[Transaction, ...]
+    receipts: tuple[Receipt, ...] = ()
+
+    @cached_property
+    def hash(self) -> bytes:
+        return self.header.hash
+
+    @property
+    def number(self) -> int:
+        return self.header.number
+
+    @cached_property
+    def transaction_trie(self) -> MerklePatriciaTrie:
+        """Rebuilt on demand (deterministic from the body)."""
+        return build_transaction_trie(list(self.transactions))
+
+    @cached_property
+    def receipt_trie(self) -> MerklePatriciaTrie:
+        return build_receipt_trie(list(self.receipts))
+
+    def validate_roots(self) -> None:
+        """Check that the header's body commitments match the actual body."""
+        tx_root = self.transaction_trie.root_hash
+        if tx_root != self.header.transactions_root:
+            raise ValueError(
+                f"transactions root mismatch: header {self.header.transactions_root.hex()} "
+                f"!= body {tx_root.hex()}"
+            )
+        receipt_root = self.receipt_trie.root_hash
+        if receipt_root != self.header.receipts_root:
+            raise ValueError(
+                f"receipts root mismatch: header {self.header.receipts_root.hex()} "
+                f"!= body {receipt_root.hex()}"
+            )
+
+    def transaction_index(self, tx_hash: bytes) -> int | None:
+        for index, tx in enumerate(self.transactions):
+            if tx.hash == tx_hash:
+                return index
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"Block(number={self.number}, txs={len(self.transactions)}, "
+            f"hash={self.hash.hex()[:10]}…)"
+        )

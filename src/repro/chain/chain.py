@@ -1,0 +1,218 @@
+"""The blockchain: canonical chain, mempool, block production, history.
+
+This is the devnet substrate standing in for the paper's local Geth network
+(§VI-B).  Key behaviours PARP depends on:
+
+* every header commits to state/tx/receipt roots (light-client verification),
+* ``get_block_hash`` serves the 256-block window the Fraud Detection Module
+  uses to authenticate submitted headers,
+* historical state roots stay resolvable (append-only node store), so proofs
+  can be generated for any past block.
+
+The executor is injected (dependency inversion) so this package does not
+depend on :mod:`repro.vm`; :mod:`repro.node.devnet` wires them together.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Callable, Optional, Protocol
+
+from ..crypto.keys import Address
+from .block import Block, build_receipt_trie, build_transaction_trie
+from .genesis import GenesisConfig, make_genesis_block
+from .header import BlockHeader
+from .receipt import Receipt
+from .state import StateDB
+from .transaction import Transaction, TransactionError
+
+__all__ = ["Blockchain", "ChainError", "TransactionExecutorProtocol"]
+
+
+class ChainError(Exception):
+    """Raised on invalid blocks or transactions."""
+
+
+class TransactionExecutorProtocol(Protocol):
+    """What the chain needs from an executor (implemented by repro.vm)."""
+
+    def apply(self, state: StateDB, block: "object", tx: Transaction,
+              cumulative_gas: int = 0) -> "object":
+        ...
+
+
+class Blockchain:
+    """A single-chain (no-fork) blockchain with a simple FIFO mempool.
+
+    The devnet has honest round-robin proposers, so fork choice is out of
+    scope — PARP is a serving-layer protocol and assumes chain consensus.
+    """
+
+    def __init__(self, genesis: GenesisConfig,
+                 executor: Optional[TransactionExecutorProtocol] = None,
+                 block_context_factory: Optional[Callable] = None) -> None:
+        self.config = genesis
+        self.db: dict[bytes, bytes] = {}
+        self.state = StateDB(self.db)
+        genesis_block = make_genesis_block(genesis, self.state)
+        self._blocks: list[Block] = [genesis_block]
+        self._blocks_by_hash: dict[bytes, Block] = {genesis_block.hash: genesis_block}
+        self._tx_index: dict[bytes, tuple[int, int]] = {}
+        self._receipts_by_tx: dict[bytes, Receipt] = {}
+        self.mempool: list[Transaction] = []
+        self.executor = executor
+        self._block_context_factory = block_context_factory
+
+    # ------------------------------------------------------------------ #
+    # Views
+    # ------------------------------------------------------------------ #
+
+    @property
+    def head(self) -> Block:
+        return self._blocks[-1]
+
+    @property
+    def height(self) -> int:
+        return self.head.number
+
+    def get_block_by_number(self, number: int) -> Optional[Block]:
+        if 0 <= number < len(self._blocks):
+            return self._blocks[number]
+        return None
+
+    def get_block_by_hash(self, block_hash: bytes) -> Optional[Block]:
+        return self._blocks_by_hash.get(block_hash)
+
+    def get_block_hash(self, number: int) -> Optional[bytes]:
+        block = self.get_block_by_number(number)
+        return block.hash if block else None
+
+    def get_header(self, number: int) -> Optional[BlockHeader]:
+        block = self.get_block_by_number(number)
+        return block.header if block else None
+
+    def state_at(self, number: int) -> StateDB:
+        """Historical state view at the end of block ``number``."""
+        block = self.get_block_by_number(number)
+        if block is None:
+            raise ChainError(f"no block at height {number}")
+        return self.state.at_root(block.header.state_root)
+
+    def find_transaction(self, tx_hash: bytes) -> Optional[tuple[Block, int]]:
+        """Locate a mined transaction: (containing block, index)."""
+        location = self._tx_index.get(tx_hash)
+        if location is None:
+            return None
+        number, index = location
+        return self._blocks[number], index
+
+    def get_receipt(self, tx_hash: bytes) -> Optional[Receipt]:
+        return self._receipts_by_tx.get(tx_hash)
+
+    # ------------------------------------------------------------------ #
+    # Mempool
+    # ------------------------------------------------------------------ #
+
+    def add_transaction(self, tx: Transaction) -> bytes:
+        """Validate and queue a transaction; returns its hash."""
+        try:
+            sender = tx.sender
+        except TransactionError as exc:
+            raise ChainError(f"unsignable transaction: {exc}") from exc
+        if tx.gas_limit > self.config.gas_limit:
+            raise ChainError("transaction gas limit exceeds block gas limit")
+        if tx.gas_price < 0 or tx.value < 0:
+            raise ChainError("negative gas price or value")
+        pending_nonces = sum(1 for p in self.mempool if p.sender == sender)
+        expected = self.state.nonce_of(sender) + pending_nonces
+        if tx.nonce != expected:
+            raise ChainError(
+                f"nonce gap for {sender.hex()}: tx {tx.nonce}, expected {expected}"
+            )
+        if tx.hash in self._tx_index or any(p.hash == tx.hash for p in self.mempool):
+            raise ChainError("transaction already known")
+        self.mempool.append(tx)
+        return tx.hash
+
+    # ------------------------------------------------------------------ #
+    # Block production
+    # ------------------------------------------------------------------ #
+
+    def build_block(self, coinbase: Optional[Address] = None,
+                    timestamp: Optional[int] = None,
+                    transactions: Optional[list[Transaction]] = None) -> Block:
+        """Execute pending (or given) transactions and append a new block."""
+        if self.executor is None:
+            raise ChainError("no transaction executor configured")
+        coinbase = coinbase or Address.zero()
+        parent = self.head
+        if timestamp is None:
+            timestamp = max(parent.header.timestamp + 1, int(_time.time()))
+        if transactions is None:
+            transactions = self.mempool
+            self.mempool = []
+
+        block_ctx = self._make_block_context(parent.number + 1, timestamp, coinbase)
+        receipts: list[Receipt] = []
+        included: list[Transaction] = []
+        cumulative_gas = 0
+        for tx in transactions:
+            if cumulative_gas + tx.gas_limit > self.config.gas_limit:
+                self.mempool.append(tx)  # defer to the next block
+                continue
+            snapshot = self.state.snapshot()
+            try:
+                result = self.executor.apply(
+                    self.state, block_ctx, tx, cumulative_gas
+                )
+            except Exception:
+                self.state.revert(snapshot)  # invalid tx: drop it entirely
+                continue
+            receipts.append(result.receipt)
+            included.append(tx)
+            cumulative_gas = result.receipt.cumulative_gas_used
+
+        header = BlockHeader(
+            parent_hash=parent.hash,
+            state_root=self.state.root_hash,
+            transactions_root=build_transaction_trie(included).root_hash,
+            receipts_root=build_receipt_trie(receipts).root_hash,
+            number=parent.number + 1,
+            timestamp=timestamp,
+            gas_used=cumulative_gas,
+            gas_limit=self.config.gas_limit,
+            proposer=coinbase,
+        )
+        block = Block(header=header, transactions=tuple(included),
+                      receipts=tuple(receipts))
+        self._append(block)
+        return block
+
+    def _make_block_context(self, number: int, timestamp: int,
+                            coinbase: Address) -> "object":
+        if self._block_context_factory is not None:
+            return self._block_context_factory(number, timestamp, coinbase,
+                                               self.get_block_hash)
+        # Deferred import keeps repro.chain importable without repro.vm.
+        from ..vm.runtime import BlockContext
+
+        return BlockContext(
+            number=number, timestamp=timestamp, coinbase=coinbase,
+            get_block_hash=self.get_block_hash,
+        )
+
+    def _append(self, block: Block) -> None:
+        if block.header.parent_hash != self.head.hash:
+            raise ChainError("block does not extend the canonical head")
+        if block.number != self.head.number + 1:
+            raise ChainError("non-consecutive block number")
+        block.validate_roots()
+        self._blocks.append(block)
+        self._blocks_by_hash[block.hash] = block
+        for index, tx in enumerate(block.transactions):
+            self._tx_index[tx.hash] = (block.number, index)
+            if index < len(block.receipts):
+                self._receipts_by_tx[tx.hash] = block.receipts[index]
+
+    def __repr__(self) -> str:
+        return f"Blockchain(height={self.height}, mempool={len(self.mempool)})"

@@ -1,0 +1,166 @@
+"""World state: accounts and contract storage over Merkle Patricia Tries.
+
+Uses Ethereum's "secure trie" convention — account keys are
+``keccak256(address)`` and storage keys are ``keccak256(slot)`` — so the
+account/storage proofs served to PARP light clients (``eth_getProof``-style)
+have the same shape and size characteristics as real Ethereum proofs.
+
+All mutation goes straight through the tries and the node store is
+append-only, so a snapshot is just a state root, and reverting a failed
+contract call (or unwinding a speculative block) is ``revert(root)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..crypto import keccak256
+from ..crypto.keys import Address
+from ..rlp import codec as rlp
+from ..trie.mpt import EMPTY_TRIE_ROOT, MerklePatriciaTrie
+from ..trie.proof import generate_proof
+from .account import Account
+
+__all__ = ["StateDB", "InsufficientBalance"]
+
+
+class InsufficientBalance(ValueError):
+    """Raised when a transfer or fee debit exceeds the account balance."""
+
+
+def _storage_key(slot: bytes) -> bytes:
+    if len(slot) != 32:
+        raise ValueError(f"storage slots are 32 bytes, got {len(slot)}")
+    return keccak256(slot)
+
+
+class StateDB:
+    """Mutable world state with snapshot/revert and proof generation."""
+
+    def __init__(self, db: Optional[dict[bytes, bytes]] = None,
+                 root_hash: bytes = EMPTY_TRIE_ROOT) -> None:
+        self._db: dict[bytes, bytes] = db if db is not None else {}
+        self._trie = MerklePatriciaTrie(self._db, root_hash)
+
+    # ------------------------------------------------------------------ #
+    # Accounts
+    # ------------------------------------------------------------------ #
+
+    @property
+    def root_hash(self) -> bytes:
+        return self._trie.root_hash
+
+    def get_account(self, address: Address) -> Account:
+        """Fetch an account; absent addresses read as the empty account."""
+        raw = self._trie.get(keccak256(address.to_bytes()))
+        if raw is None:
+            return Account()
+        return Account.decode(raw)
+
+    def set_account(self, address: Address, account: Account) -> None:
+        key = keccak256(address.to_bytes())
+        if account.is_empty:
+            self._trie.delete(key)
+        else:
+            self._trie.put(key, account.encode())
+
+    def account_exists(self, address: Address) -> bool:
+        return self._trie.get(keccak256(address.to_bytes())) is not None
+
+    # -- balances ------------------------------------------------------- #
+
+    def balance_of(self, address: Address) -> int:
+        return self.get_account(address).balance
+
+    def add_balance(self, address: Address, amount: int) -> None:
+        if amount < 0:
+            raise ValueError("use sub_balance for debits")
+        account = self.get_account(address)
+        self.set_account(address, account.with_balance(account.balance + amount))
+
+    def sub_balance(self, address: Address, amount: int) -> None:
+        if amount < 0:
+            raise ValueError("use add_balance for credits")
+        account = self.get_account(address)
+        if account.balance < amount:
+            raise InsufficientBalance(
+                f"{address.hex()} has {account.balance}, needs {amount}"
+            )
+        self.set_account(address, account.with_balance(account.balance - amount))
+
+    def transfer(self, sender: Address, recipient: Address, amount: int) -> None:
+        """Atomic balance move; raises before mutating when underfunded."""
+        if amount < 0:
+            raise ValueError("cannot transfer a negative amount")
+        self.sub_balance(sender, amount)
+        self.add_balance(recipient, amount)
+
+    # -- nonces ---------------------------------------------------------- #
+
+    def nonce_of(self, address: Address) -> int:
+        return self.get_account(address).nonce
+
+    def increment_nonce(self, address: Address) -> None:
+        account = self.get_account(address)
+        self.set_account(address, account.with_nonce(account.nonce + 1))
+
+    # ------------------------------------------------------------------ #
+    # Contract storage (per-account storage tries, shared node store)
+    # ------------------------------------------------------------------ #
+
+    def get_storage(self, address: Address, slot: bytes) -> bytes:
+        """Read a storage slot; absent slots read as b'' (the zero value)."""
+        key = _storage_key(slot)
+        account = self.get_account(address)
+        if account.storage_root == EMPTY_TRIE_ROOT:
+            return b""
+        storage = MerklePatriciaTrie(self._db, account.storage_root)
+        raw = storage.get(key)
+        if raw is None:
+            return b""
+        value = rlp.decode(raw)
+        if not isinstance(value, bytes):
+            raise rlp.RLPError("storage value must be a byte string")
+        return value
+
+    def set_storage(self, address: Address, slot: bytes, value: bytes) -> None:
+        """Write a storage slot; writing b'' deletes it (zeroing)."""
+        account = self.get_account(address)
+        storage = MerklePatriciaTrie(self._db, account.storage_root)
+        key = _storage_key(slot)
+        if value == b"":
+            storage.delete(key)
+        else:
+            storage.put(key, rlp.encode(value))
+        self.set_account(address, account.with_storage_root(storage.root_hash))
+
+    # ------------------------------------------------------------------ #
+    # Snapshots & proofs
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> bytes:
+        """Capture the current state root for a later :meth:`revert`."""
+        return self._trie.root_hash
+
+    def revert(self, root_hash: bytes) -> None:
+        """Rewind to a prior snapshot (node store is append-only)."""
+        self._trie = MerklePatriciaTrie(self._db, root_hash)
+
+    def at_root(self, root_hash: bytes) -> "StateDB":
+        """A read view of the state at a historical root."""
+        return StateDB(self._db, root_hash)
+
+    def prove_account(self, address: Address) -> list[bytes]:
+        """Merkle proof of the account record under the current state root."""
+        return generate_proof(self._trie, keccak256(address.to_bytes()))
+
+    def prove_storage(self, address: Address, slot: bytes) -> list[bytes]:
+        """Merkle proof of a storage slot under the account's storage root."""
+        account = self.get_account(address)
+        storage = MerklePatriciaTrie(self._db, account.storage_root)
+        return generate_proof(storage, _storage_key(slot))
+
+    def accounts(self) -> Iterator[tuple[bytes, Account]]:
+        """Iterate (hashed address key, account) pairs."""
+        for key, raw in self._trie.items():
+            yield key, Account.decode(raw)

@@ -1,0 +1,35 @@
+"""The paper's on-chain modules: deposits (FNDM), channels (CMM), fraud (FDM)."""
+
+from .addresses import (
+    CHANNELS_MODULE_ADDRESS,
+    DEPOSIT_MODULE_ADDRESS,
+    FRAUD_MODULE_ADDRESS,
+    TREASURY_ADDRESS,
+)
+from .channels import (
+    CHANNEL_CLOSED,
+    CHANNEL_CLOSING,
+    CHANNEL_NONE,
+    CHANNEL_OPEN,
+    ChannelsModule,
+)
+from .deposit import DepositModule
+from .fraud import FraudModule
+from .gascost import CostRow, cost_row, gas_to_usd
+
+__all__ = [
+    "DEPOSIT_MODULE_ADDRESS",
+    "CHANNELS_MODULE_ADDRESS",
+    "FRAUD_MODULE_ADDRESS",
+    "TREASURY_ADDRESS",
+    "DepositModule",
+    "ChannelsModule",
+    "FraudModule",
+    "CHANNEL_NONE",
+    "CHANNEL_OPEN",
+    "CHANNEL_CLOSING",
+    "CHANNEL_CLOSED",
+    "CostRow",
+    "cost_row",
+    "gas_to_usd",
+]

@@ -1,0 +1,25 @@
+"""Well-known deployment addresses of the PARP on-chain modules.
+
+The devnet deploys the three modules (paper §IV-C) at fixed addresses, the
+way many chains place system contracts at reserved low addresses.
+"""
+
+from __future__ import annotations
+
+from ..crypto.keys import Address
+
+__all__ = [
+    "DEPOSIT_MODULE_ADDRESS",
+    "CHANNELS_MODULE_ADDRESS",
+    "FRAUD_MODULE_ADDRESS",
+    "TREASURY_ADDRESS",
+]
+
+#: Full Nodes Deposit Module (FNDM)
+DEPOSIT_MODULE_ADDRESS = Address.from_hex("0x0000000000000000000000000000000000000A01")
+#: Channels Management Module (CMM)
+CHANNELS_MODULE_ADDRESS = Address.from_hex("0x0000000000000000000000000000000000000A02")
+#: Fraud Detection Module (FDM)
+FRAUD_MODULE_ADDRESS = Address.from_hex("0x0000000000000000000000000000000000000A03")
+#: Serving-layer reward pool receiving part of slashed deposits (§IV-F).
+TREASURY_ADDRESS = Address.from_hex("0x0000000000000000000000000000000000000A10")

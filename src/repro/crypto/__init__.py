@@ -1,0 +1,25 @@
+"""Cryptographic substrate: Keccak-256, secp256k1, recoverable ECDSA, keys.
+
+Everything PARP signs or hashes goes through this package; it reimplements the
+Ethereum primitives from scratch (no external crypto dependencies).
+"""
+
+from .ecdsa import Signature, SignatureError, recover, sign, verify
+from .keccak import KECCAK_EMPTY, KECCAK_EMPTY_RLP, Keccak256, keccak256
+from .keys import Address, PrivateKey, PublicKey, recover_address
+
+__all__ = [
+    "keccak256",
+    "Keccak256",
+    "KECCAK_EMPTY",
+    "KECCAK_EMPTY_RLP",
+    "Signature",
+    "SignatureError",
+    "sign",
+    "verify",
+    "recover",
+    "Address",
+    "PrivateKey",
+    "PublicKey",
+    "recover_address",
+]

@@ -1,0 +1,159 @@
+"""Recoverable ECDSA over secp256k1 with deterministic RFC-6979 nonces.
+
+Ethereum signatures are 65 bytes: ``r`` (32) ‖ ``s`` (32) ‖ ``v`` (1), where
+``v`` ∈ {0, 1} is the recovery id that lets a verifier recover the signer's
+public key (and hence address) from the signature alone — this is what PARP's
+on-chain fraud-detection module uses (``recover`` in Algorithm 2 of the
+paper).
+
+We enforce the low-``s`` rule (EIP-2): signatures with ``s > N/2`` are never
+produced and are rejected on verification, which removes signature
+malleability — important here because signed cumulative payment amounts act
+as money.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import NamedTuple
+
+from .secp256k1 import (
+    INFINITY,
+    N,
+    Point,
+    generator_mul,
+    is_on_curve,
+    lift_x,
+    point_add,
+    point_mul,
+)
+
+__all__ = ["Signature", "sign", "verify", "recover", "SignatureError"]
+
+_HALF_N = N // 2
+
+
+class SignatureError(ValueError):
+    """Raised when a signature is structurally invalid."""
+
+
+class Signature(NamedTuple):
+    """A recoverable ECDSA signature (r, s, v) with v in {0, 1}."""
+
+    r: int
+    s: int
+    v: int
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the canonical 65-byte r ‖ s ‖ v layout."""
+        return self.r.to_bytes(32, "big") + self.s.to_bytes(32, "big") + bytes([self.v])
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Signature":
+        if len(data) != 65:
+            raise SignatureError(f"signature must be 65 bytes, got {len(data)}")
+        r = int.from_bytes(data[0:32], "big")
+        s = int.from_bytes(data[32:64], "big")
+        v = data[64]
+        if v not in (0, 1):
+            raise SignatureError(f"recovery id must be 0 or 1, got {v}")
+        return cls(r, s, v)
+
+    def validate(self) -> None:
+        """Raise :class:`SignatureError` unless (r, s, v) are in range and low-s."""
+        if not 1 <= self.r < N:
+            raise SignatureError("signature r out of range")
+        if not 1 <= self.s < N:
+            raise SignatureError("signature s out of range")
+        if self.s > _HALF_N:
+            raise SignatureError("signature s is not low-s (malleable)")
+        if self.v not in (0, 1):
+            raise SignatureError("recovery id must be 0 or 1")
+
+
+def _rfc6979_nonce(msg_hash: bytes, secret: int) -> int:
+    """Derive the deterministic ECDSA nonce k per RFC 6979 (HMAC-SHA256)."""
+    key = secret.to_bytes(32, "big")
+    v = b"\x01" * 32
+    k = b"\x00" * 32
+    k = hmac.new(k, v + b"\x00" + key + msg_hash, hashlib.sha256).digest()
+    v = hmac.new(k, v, hashlib.sha256).digest()
+    k = hmac.new(k, v + b"\x01" + key + msg_hash, hashlib.sha256).digest()
+    v = hmac.new(k, v, hashlib.sha256).digest()
+    while True:
+        v = hmac.new(k, v, hashlib.sha256).digest()
+        candidate = int.from_bytes(v, "big")
+        if 1 <= candidate < N:
+            return candidate
+        k = hmac.new(k, v + b"\x00", hashlib.sha256).digest()
+        v = hmac.new(k, v, hashlib.sha256).digest()
+
+
+def sign(msg_hash: bytes, secret: int) -> Signature:
+    """Sign a 32-byte message hash, returning a low-s recoverable signature."""
+    if len(msg_hash) != 32:
+        raise SignatureError(f"message hash must be 32 bytes, got {len(msg_hash)}")
+    if not 1 <= secret < N:
+        raise SignatureError("private key out of range")
+    z = int.from_bytes(msg_hash, "big")
+    while True:
+        k = _rfc6979_nonce(msg_hash, secret)
+        point = generator_mul(k)
+        r = point.x % N
+        if r == 0:
+            msg_hash = hashlib.sha256(msg_hash).digest()  # retry with derived hash
+            continue
+        k_inv = pow(k, N - 2, N)
+        s = (k_inv * (z + r * secret)) % N
+        if s == 0:
+            msg_hash = hashlib.sha256(msg_hash).digest()
+            continue
+        v = point.y & 1
+        if s > _HALF_N:
+            s = N - s
+            v ^= 1
+        return Signature(r, s, v)
+
+
+def recover(msg_hash: bytes, signature: Signature) -> Point:
+    """Recover the signer's public key from a recoverable signature.
+
+    Mirrors the EVM ``ecrecover`` precompile used by the paper's Fraud
+    Detection Module to authenticate request/response origin on-chain.
+    """
+    if len(msg_hash) != 32:
+        raise SignatureError(f"message hash must be 32 bytes, got {len(msg_hash)}")
+    signature.validate()
+    r, s, v = signature
+    # Reconstruct the ephemeral point R from r and the parity bit.  (Like the
+    # EVM precompile we ignore the astronomically unlikely r + N < P case.)
+    point_r = lift_x(r, odd_y=bool(v))
+    if point_r is None:
+        raise SignatureError("signature r does not correspond to a curve point")
+    z = int.from_bytes(msg_hash, "big")
+    r_inv = pow(r, N - 2, N)
+    # Q = r^-1 * (s*R - z*G)
+    s_r = point_mul(s, point_r)
+    z_g = generator_mul(N - (z % N))
+    public = point_mul(r_inv, point_add(s_r, z_g))
+    if public.is_infinity or not is_on_curve(public):
+        raise SignatureError("recovered point is not a valid public key")
+    return public
+
+
+def verify(msg_hash: bytes, signature: Signature, public_key: Point) -> bool:
+    """Return True iff ``signature`` over ``msg_hash`` was made by ``public_key``."""
+    try:
+        signature.validate()
+    except SignatureError:
+        return False
+    r, s, _ = signature
+    z = int.from_bytes(msg_hash, "big")
+    s_inv = pow(s, N - 2, N)
+    u1 = (z * s_inv) % N
+    u2 = (r * s_inv) % N
+    point = point_add(generator_mul(u1), point_mul(u2, public_key))
+    if point is INFINITY or point.is_infinity:
+        return False
+    return point.x % N == r

@@ -1,0 +1,183 @@
+"""Pure-Python Keccak-256, the hash function used throughout Ethereum.
+
+Ethereum uses *original* Keccak (multi-rate padding byte ``0x01``), not the
+NIST-standardized SHA3-256 (padding byte ``0x06``), so :mod:`hashlib` cannot be
+used directly.  This module implements the Keccak-f[1600] permutation and the
+sponge construction from scratch.
+
+The implementation favours clarity but applies the standard CPython speed
+tricks (flat 25-lane state, precomputed rho/pi schedules, local-variable
+binding inside the permutation loop) so that hashing remains fast enough for
+Merkle-Patricia-trie workloads of a few hundred transactions per block.
+
+Example
+-------
+>>> keccak256(b"").hex()
+'c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470'
+"""
+
+from __future__ import annotations
+
+__all__ = ["keccak256", "Keccak256", "KECCAK_EMPTY", "KECCAK_EMPTY_RLP"]
+
+_MASK64 = (1 << 64) - 1
+
+_ROUND_CONSTANTS = (
+    0x0000000000000001, 0x0000000000008082, 0x800000000000808A,
+    0x8000000080008000, 0x000000000000808B, 0x0000000080000001,
+    0x8000000080008081, 0x8000000000008009, 0x000000000000008A,
+    0x0000000000000088, 0x0000000080008009, 0x000000008000000A,
+    0x000000008000808B, 0x800000000000008B, 0x8000000000008089,
+    0x8000000000008003, 0x8000000000008002, 0x8000000000000080,
+    0x000000000000800A, 0x800000008000000A, 0x8000000080008081,
+    0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
+)
+
+# Rotation offsets for the rho step, indexed by flat lane index x + 5*y.
+_ROTATIONS = (
+    0, 1, 62, 28, 27,
+    36, 44, 6, 55, 20,
+    3, 10, 43, 25, 39,
+    41, 45, 15, 21, 8,
+    18, 2, 61, 56, 14,
+)
+
+# The pi step permutes lane (x, y) -> (y, 2x + 3y).  Precompute, for each
+# destination lane index, which source lane feeds it after rho rotation.
+_PI_SOURCE = [0] * 25
+_PI_ROT = [0] * 25
+for _x in range(5):
+    for _y in range(5):
+        _src = _x + 5 * _y
+        _dst = _y + 5 * ((2 * _x + 3 * _y) % 5)
+        _PI_SOURCE[_dst] = _src
+        _PI_ROT[_dst] = _ROTATIONS[_src]
+_PI_SOURCE = tuple(_PI_SOURCE)
+_PI_ROT = tuple(_PI_ROT)
+
+_RATE_BYTES = 136  # 1088-bit rate for Keccak-256 (capacity 512)
+
+
+def _keccak_f1600(state: list[int]) -> None:
+    """Apply the 24-round Keccak-f[1600] permutation to ``state`` in place.
+
+    ``state`` is a flat list of 25 64-bit lanes, lane (x, y) at index x + 5y.
+    """
+    mask = _MASK64
+    pi_source = _PI_SOURCE
+    pi_rot = _PI_ROT
+    for rc in _ROUND_CONSTANTS:
+        # theta: column parities.
+        c0 = state[0] ^ state[5] ^ state[10] ^ state[15] ^ state[20]
+        c1 = state[1] ^ state[6] ^ state[11] ^ state[16] ^ state[21]
+        c2 = state[2] ^ state[7] ^ state[12] ^ state[17] ^ state[22]
+        c3 = state[3] ^ state[8] ^ state[13] ^ state[18] ^ state[23]
+        c4 = state[4] ^ state[9] ^ state[14] ^ state[19] ^ state[24]
+        d0 = c4 ^ (((c1 << 1) | (c1 >> 63)) & mask)
+        d1 = c0 ^ (((c2 << 1) | (c2 >> 63)) & mask)
+        d2 = c1 ^ (((c3 << 1) | (c3 >> 63)) & mask)
+        d3 = c2 ^ (((c4 << 1) | (c4 >> 63)) & mask)
+        d4 = c3 ^ (((c0 << 1) | (c0 >> 63)) & mask)
+        for y in (0, 5, 10, 15, 20):
+            state[y] ^= d0
+            state[y + 1] ^= d1
+            state[y + 2] ^= d2
+            state[y + 3] ^= d3
+            state[y + 4] ^= d4
+
+        # rho + pi: rotate each lane and scatter into the permuted position.
+        b = [0] * 25
+        for dst in range(25):
+            lane = state[pi_source[dst]]
+            rot = pi_rot[dst]
+            b[dst] = ((lane << rot) | (lane >> (64 - rot))) & mask if rot else lane
+
+        # chi: non-linear row mixing.
+        for y in (0, 5, 10, 15, 20):
+            b0, b1, b2, b3, b4 = b[y], b[y + 1], b[y + 2], b[y + 3], b[y + 4]
+            state[y] = b0 ^ (~b1 & b2)
+            state[y + 1] = b1 ^ (~b2 & b3)
+            state[y + 2] = b2 ^ (~b3 & b4)
+            state[y + 3] = b3 ^ (~b4 & b0)
+            state[y + 4] = b4 ^ (~b0 & b1)
+
+        # iota: break symmetry.
+        state[0] = (state[0] ^ rc) & mask
+
+
+class Keccak256:
+    """Incremental Keccak-256 hasher with a hashlib-like interface."""
+
+    digest_size = 32
+    block_size = _RATE_BYTES
+
+    def __init__(self, data: bytes = b"") -> None:
+        self._state = [0] * 25
+        self._buffer = b""
+        self._finalized: bytes | None = None
+        if data:
+            self.update(data)
+
+    def update(self, data: bytes) -> "Keccak256":
+        """Absorb ``data``; may be called repeatedly before :meth:`digest`."""
+        if self._finalized is not None:
+            raise ValueError("cannot update a finalized Keccak256 instance")
+        buf = self._buffer + data
+        rate = _RATE_BYTES
+        offset = 0
+        length = len(buf)
+        while length - offset >= rate:
+            self._absorb_block(buf, offset)
+            offset += rate
+        self._buffer = buf[offset:]
+        return self
+
+    def _absorb_block(self, buf: bytes, offset: int) -> None:
+        state = self._state
+        for lane in range(17):  # 136 bytes / 8 bytes per lane
+            start = offset + lane * 8
+            state[lane] ^= int.from_bytes(buf[start:start + 8], "little")
+        _keccak_f1600(state)
+
+    def digest(self) -> bytes:
+        """Return the 32-byte digest (idempotent)."""
+        if self._finalized is None:
+            padded = bytearray(_RATE_BYTES)
+            padded[: len(self._buffer)] = self._buffer
+            padded[len(self._buffer)] ^= 0x01  # Keccak domain padding
+            padded[-1] ^= 0x80
+            state = list(self._state)
+            for lane in range(17):
+                state[lane] ^= int.from_bytes(padded[lane * 8:lane * 8 + 8], "little")
+            _keccak_f1600(state)
+            out = b"".join(state[lane].to_bytes(8, "little") for lane in range(4))
+            self._finalized = out
+        return self._finalized
+
+    def hexdigest(self) -> str:
+        return self.digest().hex()
+
+    def copy(self) -> "Keccak256":
+        clone = Keccak256()
+        clone._state = list(self._state)
+        clone._buffer = self._buffer
+        clone._finalized = self._finalized
+        return clone
+
+
+def keccak256(data: bytes) -> bytes:
+    """Hash ``data`` with Keccak-256 and return the 32-byte digest."""
+    if not isinstance(data, (bytes, bytearray, memoryview)):
+        raise TypeError(f"keccak256 expects bytes, got {type(data).__name__}")
+    return Keccak256(bytes(data)).digest()
+
+
+#: keccak256(b"") — hash of the empty string (Ethereum "empty code hash").
+KECCAK_EMPTY = bytes.fromhex(
+    "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"
+)
+
+#: keccak256(rlp(b"")) == keccak256(b"\\x80") — the empty-trie root hash.
+KECCAK_EMPTY_RLP = bytes.fromhex(
+    "56e81f171bcc55a6ff8345e692c0f86e5b48e01b996cadc001622fb5e363b421"
+)

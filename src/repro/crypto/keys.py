@@ -1,0 +1,180 @@
+"""Key management and Ethereum-style addresses.
+
+An address is the last 20 bytes of ``keccak256`` of the uncompressed public
+key (without the 0x04 prefix byte) — identical to Ethereum, so the well-known
+test vector holds:
+
+>>> PrivateKey(1).address.hex_checksum()
+'0x7E5F4552091A69125d5DfCb7b8C2659029395Bdf'
+"""
+
+from __future__ import annotations
+
+import secrets
+
+from . import ecdsa
+from .ecdsa import Signature
+from .keccak import keccak256
+from .secp256k1 import N, Point, generator_mul
+
+__all__ = ["Address", "PrivateKey", "PublicKey", "recover_address"]
+
+
+class Address:
+    """A 20-byte account address (value object, hashable, comparable)."""
+
+    __slots__ = ("_raw",)
+
+    def __init__(self, raw: bytes) -> None:
+        if len(raw) != 20:
+            raise ValueError(f"address must be 20 bytes, got {len(raw)}")
+        self._raw = bytes(raw)
+
+    @classmethod
+    def from_hex(cls, text: str) -> "Address":
+        text = text.removeprefix("0x")
+        return cls(bytes.fromhex(text))
+
+    @classmethod
+    def zero(cls) -> "Address":
+        return cls(b"\x00" * 20)
+
+    def to_bytes(self) -> bytes:
+        return self._raw
+
+    def hex(self) -> str:
+        return "0x" + self._raw.hex()
+
+    def hex_checksum(self) -> str:
+        """EIP-55 mixed-case checksum encoding."""
+        plain = self._raw.hex()
+        digest = keccak256(plain.encode("ascii")).hex()
+        chars = [
+            c.upper() if c.isalpha() and int(digest[i], 16) >= 8 else c
+            for i, c in enumerate(plain)
+        ]
+        return "0x" + "".join(chars)
+
+    def __bytes__(self) -> bytes:
+        return self._raw
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Address):
+            return self._raw == other._raw
+        if isinstance(other, bytes):
+            return self._raw == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._raw)
+
+    def __repr__(self) -> str:
+        return f"Address({self.hex()})"
+
+    def __lt__(self, other: "Address") -> bool:
+        return self._raw < other._raw
+
+
+class PublicKey:
+    """A secp256k1 public key with Ethereum address derivation."""
+
+    __slots__ = ("_point",)
+
+    def __init__(self, point: Point) -> None:
+        if point.is_infinity:
+            raise ValueError("public key cannot be the point at infinity")
+        self._point = point
+
+    @property
+    def point(self) -> Point:
+        return self._point
+
+    def to_bytes(self) -> bytes:
+        """Uncompressed SEC1 encoding: 0x04 ‖ X (32) ‖ Y (32)."""
+        return b"\x04" + self._point.x.to_bytes(32, "big") + self._point.y.to_bytes(32, "big")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PublicKey":
+        if len(data) != 65 or data[0] != 0x04:
+            raise ValueError("expected 65-byte uncompressed SEC1 public key")
+        x = int.from_bytes(data[1:33], "big")
+        y = int.from_bytes(data[33:65], "big")
+        return cls(Point(x, y))
+
+    @property
+    def address(self) -> Address:
+        return Address(keccak256(self.to_bytes()[1:])[-20:])
+
+    def verify(self, msg_hash: bytes, signature: Signature) -> bool:
+        return ecdsa.verify(msg_hash, signature, self._point)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, PublicKey):
+            return self._point == other._point
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._point)
+
+    def __repr__(self) -> str:
+        return f"PublicKey(address={self.address.hex()})"
+
+
+class PrivateKey:
+    """A secp256k1 private key; derives its public key and address lazily."""
+
+    __slots__ = ("_secret", "_public")
+
+    def __init__(self, secret: int) -> None:
+        if not 1 <= secret < N:
+            raise ValueError("private key scalar out of range")
+        self._secret = secret
+        self._public: PublicKey | None = None
+
+    @classmethod
+    def generate(cls) -> "PrivateKey":
+        return cls(secrets.randbelow(N - 1) + 1)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PrivateKey":
+        if len(data) != 32:
+            raise ValueError("private key must be 32 bytes")
+        return cls(int.from_bytes(data, "big"))
+
+    @classmethod
+    def from_seed(cls, seed: bytes | str) -> "PrivateKey":
+        """Derive a key deterministically from a seed (tests and examples)."""
+        if isinstance(seed, str):
+            seed = seed.encode("utf-8")
+        scalar = int.from_bytes(keccak256(seed), "big") % (N - 1) + 1
+        return cls(scalar)
+
+    @property
+    def secret(self) -> int:
+        return self._secret
+
+    def to_bytes(self) -> bytes:
+        return self._secret.to_bytes(32, "big")
+
+    @property
+    def public_key(self) -> PublicKey:
+        if self._public is None:
+            self._public = PublicKey(generator_mul(self._secret))
+        return self._public
+
+    @property
+    def address(self) -> Address:
+        return self.public_key.address
+
+    def sign(self, msg_hash: bytes) -> Signature:
+        """Sign a 32-byte digest, producing a 65-byte recoverable signature."""
+        return ecdsa.sign(msg_hash, self._secret)
+
+    def __repr__(self) -> str:
+        return f"PrivateKey(address={self.address.hex()})"
+
+
+def recover_address(msg_hash: bytes, signature: Signature) -> Address:
+    """Recover the signer's address — the Python analogue of ``ecrecover``."""
+    point = ecdsa.recover(msg_hash, signature)
+    return PublicKey(point).address

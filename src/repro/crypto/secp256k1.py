@@ -1,0 +1,183 @@
+"""secp256k1 elliptic-curve arithmetic, implemented from scratch.
+
+This is the curve used by Ethereum (and Bitcoin) for transaction and message
+signatures.  We implement:
+
+* field arithmetic modulo the curve prime ``P``,
+* point addition/doubling in Jacobian coordinates (fast: no per-step field
+  inversions),
+* scalar multiplication (double-and-add for arbitrary points, a precomputed
+  fixed-base table for the generator ``G`` so that signing — which always
+  multiplies ``G`` — costs only point additions).
+
+Only what ECDSA needs is exposed; this is not a general-purpose EC library.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+__all__ = [
+    "P", "N", "Gx", "Gy", "B",
+    "Point", "INFINITY",
+    "point_add", "point_mul", "generator_mul", "lift_x", "is_on_curve",
+]
+
+# Curve parameters: y^2 = x^3 + 7 over GF(P).
+P = 0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFC2F
+N = 0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEBAAEDCE6AF48A03BBFD25E8CD0364141
+A = 0
+B = 7
+Gx = 0x79BE667EF9DCBBAC55A06295CE870B07029BFCDB2DCE28D959F2815B16F81798
+Gy = 0x483ADA7726A3C4655DA4FBFC0E1108A8FD17B448A68554199C47D08FFB10D4B8
+
+
+class Point(NamedTuple):
+    """An affine point on secp256k1.  ``None`` coordinates encode infinity."""
+
+    x: int | None
+    y: int | None
+
+    @property
+    def is_infinity(self) -> bool:
+        return self.x is None
+
+
+INFINITY = Point(None, None)
+G = Point(Gx, Gy)
+
+# Jacobian points are (X, Y, Z) with affine x = X/Z^2, y = Y/Z^3.
+_JacPoint = tuple[int, int, int]
+_J_INFINITY: _JacPoint = (0, 1, 0)
+
+
+def is_on_curve(point: Point) -> bool:
+    """Return True iff ``point`` satisfies the curve equation (or is infinity)."""
+    if point.is_infinity:
+        return True
+    x, y = point.x, point.y
+    return (y * y - (x * x * x + B)) % P == 0
+
+
+def _to_jacobian(point: Point) -> _JacPoint:
+    if point.is_infinity:
+        return _J_INFINITY
+    return (point.x, point.y, 1)
+
+
+def _from_jacobian(jac: _JacPoint) -> Point:
+    x, y, z = jac
+    if z == 0:
+        return INFINITY
+    z_inv = pow(z, P - 2, P)
+    z_inv2 = (z_inv * z_inv) % P
+    return Point((x * z_inv2) % P, (y * z_inv2 * z_inv) % P)
+
+
+def _jacobian_double(point: _JacPoint) -> _JacPoint:
+    x, y, z = point
+    if z == 0 or y == 0:
+        return _J_INFINITY
+    ysq = (y * y) % P
+    s = (4 * x * ysq) % P
+    m = (3 * x * x) % P  # a == 0, so no a*z^4 term
+    nx = (m * m - 2 * s) % P
+    ny = (m * (s - nx) - 8 * ysq * ysq) % P
+    nz = (2 * y * z) % P
+    return (nx, ny, nz)
+
+
+def _jacobian_add(p1: _JacPoint, p2: _JacPoint) -> _JacPoint:
+    x1, y1, z1 = p1
+    x2, y2, z2 = p2
+    if z1 == 0:
+        return p2
+    if z2 == 0:
+        return p1
+    z1sq = (z1 * z1) % P
+    z2sq = (z2 * z2) % P
+    u1 = (x1 * z2sq) % P
+    u2 = (x2 * z1sq) % P
+    s1 = (y1 * z2sq * z2) % P
+    s2 = (y2 * z1sq * z1) % P
+    if u1 == u2:
+        if s1 != s2:
+            return _J_INFINITY
+        return _jacobian_double(p1)
+    h = (u2 - u1) % P
+    r = (s2 - s1) % P
+    hsq = (h * h) % P
+    hcu = (hsq * h) % P
+    u1hsq = (u1 * hsq) % P
+    nx = (r * r - hcu - 2 * u1hsq) % P
+    ny = (r * (u1hsq - nx) - s1 * hcu) % P
+    nz = (h * z1 * z2) % P
+    return (nx, ny, nz)
+
+
+def point_add(p1: Point, p2: Point) -> Point:
+    """Add two affine points."""
+    return _from_jacobian(_jacobian_add(_to_jacobian(p1), _to_jacobian(p2)))
+
+
+def point_mul(scalar: int, point: Point) -> Point:
+    """Multiply an arbitrary affine ``point`` by ``scalar`` (double-and-add)."""
+    scalar %= N
+    if scalar == 0 or point.is_infinity:
+        return INFINITY
+    result = _J_INFINITY
+    addend = _to_jacobian(point)
+    while scalar:
+        if scalar & 1:
+            result = _jacobian_add(result, addend)
+        addend = _jacobian_double(addend)
+        scalar >>= 1
+    return _from_jacobian(result)
+
+
+# Fixed-base table: _G_TABLE[i] = 2^i * G in Jacobian coordinates.  Signing
+# multiplies G by a fresh nonce on every call; with this table the loop needs
+# only ~128 point additions on average instead of 256 doublings + additions.
+def _build_generator_table() -> list[_JacPoint]:
+    table = []
+    current = _to_jacobian(G)
+    for _ in range(256):
+        table.append(current)
+        current = _jacobian_double(current)
+    return table
+
+
+_G_TABLE = _build_generator_table()
+
+
+def generator_mul(scalar: int) -> Point:
+    """Multiply the generator ``G`` by ``scalar`` using the fixed-base table."""
+    scalar %= N
+    if scalar == 0:
+        return INFINITY
+    result = _J_INFINITY
+    bit = 0
+    while scalar:
+        if scalar & 1:
+            result = _jacobian_add(result, _G_TABLE[bit])
+        scalar >>= 1
+        bit += 1
+    return _from_jacobian(result)
+
+
+def lift_x(x: int, odd_y: bool) -> Point | None:
+    """Return the curve point with this ``x`` and the requested y-parity.
+
+    Returns None when ``x`` is not the abscissa of any curve point (about half
+    of all field elements).  Used by public-key recovery.
+    """
+    if not 0 <= x < P:
+        return None
+    y_sq = (pow(x, 3, P) + B) % P
+    # P % 4 == 3, so a square root (if any) is y = y_sq^((P+1)/4).
+    y = pow(y_sq, (P + 1) // 4, P)
+    if (y * y) % P != y_sq:
+        return None
+    if (y & 1) != int(odd_y):
+        y = P - y
+    return Point(x, y)

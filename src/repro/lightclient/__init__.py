@@ -1,0 +1,24 @@
+"""Light-client substrate: header chain, multi-source sync, proof checks."""
+
+from .headerchain import HeaderChain, HeaderChainError
+from .sync import HeaderSource, HeaderSyncer, SyncError
+from .verify import (
+    verify_account,
+    verify_balance,
+    verify_receipt_at,
+    verify_storage_slot,
+    verify_transaction_at,
+)
+
+__all__ = [
+    "HeaderChain",
+    "HeaderChainError",
+    "HeaderSource",
+    "HeaderSyncer",
+    "SyncError",
+    "verify_account",
+    "verify_balance",
+    "verify_storage_slot",
+    "verify_transaction_at",
+    "verify_receipt_at",
+]

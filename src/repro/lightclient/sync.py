@@ -1,0 +1,116 @@
+"""Multi-source header synchronization with cross-checking.
+
+Paper §IV-D assumes "the light client can request and receive block headers
+… from any full node (PARP-compatible or not), without payment".  Because
+headers are the root of trust, the client should not take them from a single
+node: the syncer fetches from several sources and requires a quorum of them
+to agree on each header hash, detecting equivocating or lying sources.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Optional, Protocol, Sequence
+
+from ..chain.header import BlockHeader
+from .headerchain import HeaderChain, HeaderChainError
+
+__all__ = ["HeaderSource", "SyncError", "HeaderSyncer"]
+
+
+class HeaderSource(Protocol):
+    """The free header service every full node exposes."""
+
+    def serve_header(self, number: int) -> Optional[BlockHeader]: ...
+    def serve_head_number(self) -> int: ...
+
+
+class SyncError(Exception):
+    """Raised when sources disagree beyond the quorum or data is missing."""
+
+
+class HeaderSyncer:
+    """Keeps a :class:`HeaderChain` in sync against multiple sources."""
+
+    def __init__(self, sources: Sequence[HeaderSource],
+                 quorum: Optional[int] = None,
+                 chain: Optional[HeaderChain] = None) -> None:
+        if not sources:
+            raise ValueError("at least one header source is required")
+        self.sources = list(sources)
+        #: how many sources must agree on a header hash (default: majority).
+        self.quorum = quorum if quorum is not None else len(self.sources) // 2 + 1
+        self.chain = chain if chain is not None else HeaderChain()
+        #: sources caught disagreeing with the quorum (candidate bad peers).
+        self.suspects: set[int] = set()
+
+    # ------------------------------------------------------------------ #
+    # Syncing
+    # ------------------------------------------------------------------ #
+
+    def head_target(self) -> int:
+        """The height to sync to: the median of the sources' heads (robust
+        against a minority of sources lying about the tip)."""
+        heads = sorted(source.serve_head_number() for source in self.sources)
+        return heads[len(heads) // 2]
+
+    def sync(self) -> BlockHeader:
+        """Catch up to the (median) network head; returns the new tip."""
+        return self.sync_to(self.head_target())
+
+    def sync_to(self, target: int) -> BlockHeader:
+        """Fetch and validate headers up to ``target``."""
+        start = self.chain.tip_number + 1 if len(self.chain) else 0
+        for number in range(start, target + 1):
+            self.chain.append(self._fetch_checked(number))
+        if not len(self.chain):
+            raise SyncError("nothing to sync: empty chain and target below start")
+        return self.chain.tip
+
+    def _fetch_checked(self, number: int) -> BlockHeader:
+        """Fetch header ``number``, requiring quorum agreement on its hash."""
+        votes: Counter[bytes] = Counter()
+        candidates: dict[bytes, BlockHeader] = {}
+        for index, source in enumerate(self.sources):
+            header = source.serve_header(number)
+            if header is None or header.number != number:
+                continue
+            votes[header.hash] += 1
+            candidates[header.hash] = header
+        if not votes:
+            raise SyncError(f"no source could provide header {number}")
+        winner_hash, count = votes.most_common(1)[0]
+        if count < self.quorum:
+            raise SyncError(
+                f"no quorum on header {number}: best hash has {count} votes, "
+                f"need {self.quorum}"
+            )
+        # Remember sources that voted against the quorum hash.
+        for index, source in enumerate(self.sources):
+            header = source.serve_header(number)
+            if header is not None and header.hash != winner_hash:
+                self.suspects.add(index)
+        return candidates[winner_hash]
+
+    def ensure_height(self, number: int) -> BlockHeader:
+        """Make sure the local chain reaches ``number``; returns that header."""
+        if not len(self.chain) or self.chain.tip_number < number:
+            self.sync_to(number)
+        header = self.chain.get_header(number)
+        if header is None:
+            raise SyncError(f"header {number} below the local trust anchor")
+        return header
+
+    # ------------------------------------------------------------------ #
+    # Views used by PARP verification
+    # ------------------------------------------------------------------ #
+
+    @property
+    def tip(self) -> BlockHeader:
+        return self.chain.tip
+
+    def get_header(self, number: int) -> Optional[BlockHeader]:
+        return self.chain.get_header(number)
+
+    def height_of(self, block_hash: bytes) -> Optional[int]:
+        return self.chain.height_of(block_hash)

@@ -1,0 +1,14 @@
+"""Measurement utilities: step timers, resource probes, table rendering."""
+
+from .resources import ResourceProbe, ResourceSample
+from .tables import render_series, render_table
+from .timers import StepStats, StepTimer
+
+__all__ = [
+    "StepTimer",
+    "StepStats",
+    "ResourceProbe",
+    "ResourceSample",
+    "render_table",
+    "render_series",
+]

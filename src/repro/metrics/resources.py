@@ -1,0 +1,77 @@
+"""CPU and memory probes for the Fig. 7 scalability experiment.
+
+The paper measures a PARP-compatible Geth node's average CPU% and memory%
+while N light clients send 2 requests/second for two minutes, and reports
+the multipliers vs a plain Geth node (3.43x CPU, 2.38x memory at N=20).
+
+We measure the real Python process doing the real serving work:
+``time.process_time`` for CPU seconds consumed and ``tracemalloc`` for the
+serving allocations, then report the same PARP/plain ratios.  Absolute
+percentages are meaningless across runtimes; the ratios and their growth
+with N are the reproduction target.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass
+
+__all__ = ["ResourceSample", "ResourceProbe"]
+
+
+@dataclass(frozen=True)
+class ResourceSample:
+    """Resources consumed during one probed region."""
+
+    cpu_seconds: float
+    wall_seconds: float
+    peak_memory_bytes: int
+    current_memory_bytes: int
+
+    @property
+    def cpu_utilization(self) -> float:
+        """CPU seconds per wall second (≈ CPU% / 100 for one core)."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.cpu_seconds / self.wall_seconds
+
+
+class ResourceProbe:
+    """Context manager measuring CPU time and allocation peaks.
+
+    tracemalloc adds overhead, so CPU numbers are taken with memory tracing
+    *off* unless ``trace_memory`` is requested; benches run two passes.
+    """
+
+    def __init__(self, trace_memory: bool = True) -> None:
+        self.trace_memory = trace_memory
+        self._cpu_start = 0.0
+        self._wall_start = 0.0
+        self._tracing_started_here = False
+        self.sample: ResourceSample | None = None
+
+    def __enter__(self) -> "ResourceProbe":
+        if self.trace_memory and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._tracing_started_here = True
+        if self.trace_memory:
+            tracemalloc.reset_peak()
+        self._cpu_start = time.process_time()
+        self._wall_start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        cpu = time.process_time() - self._cpu_start
+        wall = time.perf_counter() - self._wall_start
+        current, peak = (0, 0)
+        if self.trace_memory and tracemalloc.is_tracing():
+            current, peak = tracemalloc.get_traced_memory()
+            if self._tracing_started_here:
+                tracemalloc.stop()
+        self.sample = ResourceSample(
+            cpu_seconds=cpu,
+            wall_seconds=wall,
+            peak_memory_bytes=peak,
+            current_memory_bytes=current,
+        )

@@ -1,0 +1,20 @@
+"""Discrete-event simulated network (latency, loss, partitions, timeouts)."""
+
+from .latency import FixedLatency, LatencyModel, PairwiseLatency, UniformLatency
+from .network import NetworkError, NetworkStats, SimNetwork
+from .simclock import SimClock
+from .transport import EndpointTimeout, SimEndpoint, SimServerBinding
+
+__all__ = [
+    "SimClock",
+    "SimNetwork",
+    "NetworkError",
+    "NetworkStats",
+    "LatencyModel",
+    "FixedLatency",
+    "UniformLatency",
+    "PairwiseLatency",
+    "SimEndpoint",
+    "SimServerBinding",
+    "EndpointTimeout",
+]

@@ -1,0 +1,59 @@
+"""Link latency models for the simulated network."""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Protocol
+
+__all__ = ["LatencyModel", "FixedLatency", "UniformLatency", "PairwiseLatency"]
+
+
+class LatencyModel(Protocol):
+    """Delay (in simulated seconds) for a message from ``src`` to ``dst``."""
+
+    def delay(self, src: str, dst: str, size_bytes: int) -> float: ...
+
+
+class FixedLatency:
+    """Constant propagation delay plus optional per-byte transfer time."""
+
+    def __init__(self, seconds: float = 0.01,
+                 bytes_per_second: Optional[float] = None) -> None:
+        self.seconds = seconds
+        self.bytes_per_second = bytes_per_second
+
+    def delay(self, src: str, dst: str, size_bytes: int) -> float:
+        transfer = (size_bytes / self.bytes_per_second
+                    if self.bytes_per_second else 0.0)
+        return self.seconds + transfer
+
+
+class UniformLatency:
+    """Uniformly jittered delay in [low, high] (seeded, deterministic)."""
+
+    def __init__(self, low: float = 0.005, high: float = 0.05,
+                 seed: int = 0) -> None:
+        if low > high:
+            raise ValueError("low latency bound exceeds high bound")
+        self.low = low
+        self.high = high
+        self._rng = random.Random(seed)
+
+    def delay(self, src: str, dst: str, size_bytes: int) -> float:
+        return self._rng.uniform(self.low, self.high)
+
+
+class PairwiseLatency:
+    """Explicit per-link delays (e.g. a geo-distributed topology)."""
+
+    def __init__(self, links: dict[tuple[str, str], float],
+                 default: float = 0.05) -> None:
+        self.links = dict(links)
+        self.default = default
+
+    def delay(self, src: str, dst: str, size_bytes: int) -> float:
+        if (src, dst) in self.links:
+            return self.links[(src, dst)]
+        if (dst, src) in self.links:
+            return self.links[(dst, src)]
+        return self.default

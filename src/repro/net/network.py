@@ -1,0 +1,164 @@
+"""A deterministic discrete-event message network.
+
+Nodes register under a name; ``send`` schedules delivery after the link
+latency; ``run_until`` drains the event heap up to a simulated deadline.
+Supports message loss (per-link or global drop rates) and partitions, which
+the integration tests use to exercise PARP's timeout and fail-over paths.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Any, Callable, Optional
+
+from .latency import FixedLatency, LatencyModel
+from .simclock import SimClock
+
+__all__ = ["NetworkError", "SimNetwork", "NetworkStats"]
+
+
+class NetworkError(Exception):
+    """Raised on misuse of the simulated network (unknown node, etc.)."""
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate traffic counters."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    bytes_sent: int = 0
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+
+
+class SimNetwork:
+    """The event loop + topology."""
+
+    def __init__(self, latency: Optional[LatencyModel] = None,
+                 clock: Optional[SimClock] = None,
+                 drop_rate: float = 0.0, seed: int = 0) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self.latency = latency if latency is not None else FixedLatency(0.01)
+        self.drop_rate = drop_rate
+        self._rng = random.Random(seed)
+        self._nodes: dict[str, Any] = {}
+        self._events: list[_Event] = []
+        self._seq = count()
+        self._partitioned: set[frozenset[str]] = set()
+        self.stats = NetworkStats()
+
+    # ------------------------------------------------------------------ #
+    # Topology
+    # ------------------------------------------------------------------ #
+
+    def register(self, name: str, node: Any) -> None:
+        """Attach a node; it must expose ``on_message(src, payload)``."""
+        if name in self._nodes:
+            raise NetworkError(f"node name {name!r} already registered")
+        self._nodes[name] = node
+
+    def node(self, name: str) -> Any:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise NetworkError(f"unknown node {name!r}") from None
+
+    def partition(self, a: str, b: str) -> None:
+        """Sever the link between two nodes (both directions)."""
+        self._partitioned.add(frozenset((a, b)))
+
+    def heal(self, a: str, b: str) -> None:
+        self._partitioned.discard(frozenset((a, b)))
+
+    # ------------------------------------------------------------------ #
+    # Messaging
+    # ------------------------------------------------------------------ #
+
+    def send(self, src: str, dst: str, payload: Any,
+             size_bytes: Optional[int] = None) -> None:
+        """Schedule delivery of ``payload`` from ``src`` to ``dst``."""
+        if dst not in self._nodes:
+            raise NetworkError(f"unknown destination {dst!r}")
+        self.stats.messages_sent += 1
+        size = size_bytes if size_bytes is not None else _estimate_size(payload)
+        self.stats.bytes_sent += size
+        if frozenset((src, dst)) in self._partitioned:
+            self.stats.messages_dropped += 1
+            return
+        if self.drop_rate and self._rng.random() < self.drop_rate:
+            self.stats.messages_dropped += 1
+            return
+        delay = self.latency.delay(src, dst, size)
+
+        def deliver() -> None:
+            self.stats.messages_delivered += 1
+            self._nodes[dst].on_message(src, payload)
+
+        self.schedule(delay, deliver)
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> None:
+        """Run ``action`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise NetworkError("cannot schedule in the past")
+        heapq.heappush(
+            self._events,
+            _Event(self.clock.now() + delay, next(self._seq), action),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Event loop
+    # ------------------------------------------------------------------ #
+
+    def run_until(self, deadline: float) -> None:
+        """Process events with time <= deadline; advances the clock."""
+        while self._events and self._events[0].time <= deadline:
+            event = heapq.heappop(self._events)
+            self.clock.advance_to(event.time)
+            event.action()
+        self.clock.advance_to(max(self.clock.now(), deadline))
+
+    def run(self, max_events: int = 1_000_000) -> None:
+        """Drain all pending events (bounded against runaway loops)."""
+        processed = 0
+        while self._events:
+            event = heapq.heappop(self._events)
+            self.clock.advance_to(event.time)
+            event.action()
+            processed += 1
+            if processed >= max_events:
+                raise NetworkError(f"exceeded {max_events} events; livelock?")
+
+    def run_while(self, predicate: Callable[[], bool],
+                  timeout: float = 60.0) -> bool:
+        """Run while ``predicate()`` holds; returns False on sim-timeout."""
+        deadline = self.clock.now() + timeout
+        while predicate():
+            if not self._events or self._events[0].time > deadline:
+                self.clock.advance_to(deadline)
+                return not predicate()
+            event = heapq.heappop(self._events)
+            self.clock.advance_to(event.time)
+            event.action()
+        return True
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._events)
+
+
+def _estimate_size(payload: Any) -> int:
+    if isinstance(payload, (bytes, bytearray)):
+        return len(payload)
+    if hasattr(payload, "wire_size"):
+        return int(payload.wire_size)
+    return 128  # envelope estimate for structured messages

@@ -1,0 +1,167 @@
+"""PARP over the simulated network.
+
+Bridges the synchronous :class:`~repro.parp.client.ServerEndpoint` interface
+to message passing: each endpoint call becomes a request event, the server
+binding processes it on delivery, and the client facade drives the event
+loop until the correlated reply lands (or a timeout passes — which is how
+Algorithm 1's ``hsTimer`` and general strong-synchrony violations surface).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import count
+from typing import Any, Optional
+
+from ..chain.header import BlockHeader
+from ..crypto.keys import Address
+from ..parp.handshake import Handshake, HandshakeConfirm, OpenChannelReceipt
+from ..parp.server import FullNodeServer, ServeError
+from .network import SimNetwork
+
+__all__ = ["EndpointTimeout", "SimServerBinding", "SimEndpoint"]
+
+DEFAULT_TIMEOUT = 10.0
+
+
+class EndpointTimeout(Exception):
+    """No reply within the synchrony bound — the hsTimer fired."""
+
+
+@dataclass
+class _Call:
+    request_id: int
+    method: str
+    args: tuple
+
+
+@dataclass
+class _Reply:
+    request_id: int
+    ok: bool
+    value: Any
+
+
+class SimServerBinding:
+    """Network-facing wrapper around a :class:`FullNodeServer`."""
+
+    #: endpoint methods a remote client may invoke
+    _ALLOWED = frozenset({
+        "handshake", "open_channel", "serve_request", "relay_transaction",
+        "get_transaction_count", "serve_header", "serve_head_number",
+    })
+
+    def __init__(self, network: SimNetwork, name: str,
+                 server: FullNodeServer) -> None:
+        self.network = network
+        self.name = name
+        self.server = server
+        #: when True the node silently ignores traffic (crash/fail-stop tests)
+        self.offline = False
+        network.register(name, self)
+
+    def on_message(self, src: str, payload: Any) -> None:
+        if self.offline or not isinstance(payload, _Call):
+            return
+        if payload.method not in self._ALLOWED:
+            reply = _Reply(payload.request_id, False,
+                           f"unknown endpoint method {payload.method}")
+        else:
+            try:
+                value = getattr(self.server, payload.method)(*payload.args)
+                reply = _Reply(payload.request_id, True, value)
+            except (ServeError, Exception) as exc:  # noqa: BLE001 — faithful RPC edge
+                reply = _Reply(payload.request_id, False, str(exc))
+        self.network.send(self.name, src, reply, size_bytes=_reply_size(reply))
+
+
+class SimEndpoint:
+    """Client-side endpoint facade (implements ``ServerEndpoint``)."""
+
+    def __init__(self, network: SimNetwork, name: str, server_name: str,
+                 server_address: Address,
+                 timeout: float = DEFAULT_TIMEOUT) -> None:
+        self.network = network
+        self.name = name
+        self.server_name = server_name
+        self._address = server_address
+        self.timeout = timeout
+        self._ids = count(1)
+        self._inbox: dict[int, _Reply] = {}
+        network.register(name, self)
+
+    @property
+    def address(self) -> Address:
+        return self._address
+
+    def on_message(self, src: str, payload: Any) -> None:
+        if isinstance(payload, _Reply):
+            self._inbox[payload.request_id] = payload
+
+    # -- the synchronous facade ------------------------------------------- #
+
+    def _invoke(self, method: str, *args: Any) -> Any:
+        request_id = next(self._ids)
+        call = _Call(request_id, method, args)
+        self.network.send(self.name, self.server_name, call,
+                          size_bytes=_call_size(call))
+        arrived = self.network.run_while(
+            lambda: request_id not in self._inbox, timeout=self.timeout,
+        )
+        if not arrived:
+            raise EndpointTimeout(
+                f"{method} to {self.server_name}: no reply within "
+                f"{self.timeout}s of simulated time"
+            )
+        reply = self._inbox.pop(request_id)
+        if not reply.ok:
+            raise ServeError(str(reply.value))
+        return reply.value
+
+    # -- ServerEndpoint protocol -------------------------------------------- #
+
+    def handshake(self, msg: Handshake) -> HandshakeConfirm:
+        return self._invoke("handshake", msg)
+
+    def open_channel(self, raw_tx: bytes) -> OpenChannelReceipt:
+        return self._invoke("open_channel", raw_tx)
+
+    def serve_request(self, wire: bytes) -> bytes:
+        return self._invoke("serve_request", wire)
+
+    def relay_transaction(self, raw_tx: bytes) -> bytes:
+        return self._invoke("relay_transaction", raw_tx)
+
+    def get_transaction_count(self, address: Address) -> int:
+        return self._invoke("get_transaction_count", address)
+
+    def serve_header(self, number: int) -> Optional[BlockHeader]:
+        return self._invoke("serve_header", number)
+
+    def serve_head_number(self) -> int:
+        return self._invoke("serve_head_number")
+
+
+def _call_size(call: _Call) -> int:
+    size = 40  # envelope
+    for arg in call.args:
+        if isinstance(arg, (bytes, bytearray)):
+            size += len(arg)
+        elif isinstance(arg, Handshake):
+            size += 20
+        else:
+            size += 32
+    return size
+
+
+def _reply_size(reply: _Reply) -> int:
+    value = reply.value
+    if isinstance(value, (bytes, bytearray)):
+        return 40 + len(value)
+    if isinstance(value, HandshakeConfirm):
+        return 40 + 20 + 8 + 65
+    if isinstance(value, OpenChannelReceipt):
+        return 40 + 16 + 65
+    if isinstance(value, BlockHeader):
+        return 40 + len(value.encode())
+    return 72

@@ -1,0 +1,6 @@
+"""Node assembly: full nodes and the devnet they follow."""
+
+from .devnet import Devnet
+from .fullnode import FullNode
+
+__all__ = ["Devnet", "FullNode"]

@@ -1,0 +1,177 @@
+"""Devnet: a single-chain test network with the PARP modules deployed.
+
+Substitute for the paper's local OpenStack network of three Geth nodes
+(§VI-B).  One :class:`repro.chain.Blockchain` instance plays the role of the
+consensus layer; any number of :class:`repro.node.fullnode.FullNode` objects
+attach to it, exactly like multiple serving nodes that follow the same chain.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from ..chain.chain import Blockchain
+from ..chain.genesis import GenesisConfig
+from ..chain.transaction import Transaction, UnsignedTransaction
+from ..contracts.addresses import (
+    CHANNELS_MODULE_ADDRESS,
+    DEPOSIT_MODULE_ADDRESS,
+    FRAUD_MODULE_ADDRESS,
+    TREASURY_ADDRESS,
+)
+from ..contracts.channels import ChannelsModule
+from ..contracts.deposit import DepositModule
+from ..contracts.fraud import FraudModule
+from ..crypto.keys import Address, PrivateKey
+from ..vm.abi import encode_call
+from ..vm.runtime import (
+    BlockContext,
+    ContractRegistry,
+    ExecutionResult,
+    GasMeter,
+    TransactionExecutor,
+    _TxState,
+)
+
+__all__ = ["Devnet", "DEFAULT_GAS_PRICE", "DEFAULT_GAS_LIMIT"]
+
+DEFAULT_GAS_PRICE = 12 * 10 ** 9   # 12 Gwei, the paper's mainnet assumption
+DEFAULT_GAS_LIMIT = 3_000_000
+VIEW_GAS_LIMIT = 50_000_000
+
+
+class Devnet:
+    """A ready-to-use chain with FNDM/CMM/FDM deployed at fixed addresses."""
+
+    def __init__(self, genesis: Optional[GenesisConfig] = None) -> None:
+        self.registry = ContractRegistry()
+        self.deposit_module = DepositModule(
+            DEPOSIT_MODULE_ADDRESS,
+            fraud_module=FRAUD_MODULE_ADDRESS,
+            treasury=TREASURY_ADDRESS,
+        )
+        self.channels_module = ChannelsModule(
+            CHANNELS_MODULE_ADDRESS, deposit_module=DEPOSIT_MODULE_ADDRESS,
+        )
+        self.fraud_module = FraudModule(
+            FRAUD_MODULE_ADDRESS,
+            deposit_module=DEPOSIT_MODULE_ADDRESS,
+            channels_module=CHANNELS_MODULE_ADDRESS,
+        )
+        self.registry.deploy(self.deposit_module)
+        self.registry.deploy(self.channels_module)
+        self.registry.deploy(self.fraud_module)
+        self.executor = TransactionExecutor(self.registry)
+        self.chain = Blockchain(genesis or GenesisConfig(),
+                                executor=self.executor)
+        self._last_results: dict[bytes, ExecutionResult] = {}
+
+    # ------------------------------------------------------------------ #
+    # Transactions
+    # ------------------------------------------------------------------ #
+
+    def send_transaction(self, key: PrivateKey, to: Address, value: int = 0,
+                         data: bytes = b"", gas_limit: int = DEFAULT_GAS_LIMIT,
+                         gas_price: int = DEFAULT_GAS_PRICE) -> Transaction:
+        """Sign and queue a transaction from ``key``'s account."""
+        sender = key.address
+        pending = sum(1 for t in self.chain.mempool if t.sender == sender)
+        tx = UnsignedTransaction(
+            nonce=self.chain.state.nonce_of(sender) + pending,
+            gas_price=gas_price,
+            gas_limit=gas_limit,
+            to=to,
+            value=value,
+            data=data,
+        ).sign(key)
+        self.chain.add_transaction(tx)
+        return tx
+
+    def call_contract(self, key: PrivateKey, contract: Address, method: str,
+                      args: Sequence[Any] = (), value: int = 0,
+                      gas_limit: int = DEFAULT_GAS_LIMIT) -> Transaction:
+        """Queue a contract-method transaction."""
+        return self.send_transaction(
+            key, contract, value=value, data=encode_call(method, args),
+            gas_limit=gas_limit,
+        )
+
+    def mine(self, coinbase: Optional[Address] = None) -> "object":
+        """Produce one block from the mempool, capturing execution results."""
+        pending = list(self.chain.mempool)
+        block = self._mine_with_capture(pending, coinbase)
+        return block
+
+    def _mine_with_capture(self, pending: list[Transaction],
+                           coinbase: Optional[Address]) -> "object":
+        captured: dict[bytes, ExecutionResult] = {}
+        original_apply = self.executor.apply
+
+        def capturing_apply(state, block_ctx, tx, cumulative_gas=0):
+            result = original_apply(state, block_ctx, tx, cumulative_gas)
+            captured[tx.hash] = result
+            return result
+
+        self.executor.apply = capturing_apply  # type: ignore[method-assign]
+        try:
+            block = self.chain.build_block(coinbase=coinbase)
+        finally:
+            self.executor.apply = original_apply  # type: ignore[method-assign]
+        self._last_results.update(captured)
+        return block
+
+    def execute(self, key: PrivateKey, contract: Address, method: str,
+                args: Sequence[Any] = (), value: int = 0,
+                gas_limit: int = DEFAULT_GAS_LIMIT) -> ExecutionResult:
+        """Convenience: send a contract call, mine it, return its result."""
+        tx = self.call_contract(key, contract, method, args, value, gas_limit)
+        self.mine()
+        result = self._last_results.get(tx.hash)
+        if result is None:
+            raise RuntimeError("transaction was not included in the mined block")
+        return result
+
+    def result_of(self, tx_hash: bytes) -> Optional[ExecutionResult]:
+        return self._last_results.get(tx_hash)
+
+    # ------------------------------------------------------------------ #
+    # View calls (free, no transaction)
+    # ------------------------------------------------------------------ #
+
+    def call_view(self, contract: Address, method: str,
+                  args: Sequence[Any] = (),
+                  caller: Optional[Address] = None) -> Any:
+        """Execute a view method against the head state without a tx."""
+        head = self.chain.head
+        block_ctx = BlockContext(
+            number=head.number + 1,
+            timestamp=head.header.timestamp + 1,
+            coinbase=Address.zero(),
+            get_block_hash=self.chain.get_block_hash,
+        )
+        snapshot = self.chain.state.snapshot()
+        tx_state = _TxState(
+            state=self.chain.state,
+            block=block_ctx,
+            registry=self.registry,
+            meter=GasMeter(VIEW_GAS_LIMIT),
+            origin=caller or Address.zero(),
+        )
+        try:
+            return tx_state.dispatch(
+                caller or Address.zero(), contract, 0, encode_call(method, args)
+            )
+        finally:
+            self.chain.state.revert(snapshot)
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+
+    def balance_of(self, address: Address) -> int:
+        return self.chain.state.balance_of(address)
+
+    def advance_blocks(self, count: int) -> None:
+        """Mine ``count`` empty blocks (to pass dispute/unbonding windows)."""
+        for _ in range(count):
+            self.chain.build_block()

@@ -1,0 +1,398 @@
+"""The PARP light-client session: the client side of the whole protocol.
+
+Drives the lifecycle of Fig. 4 — ``IDLE → Handshaking → Unbonded → Bonded →
+Unbonding → IDLE`` — over any transport that satisfies
+:class:`ServerEndpoint` (the in-process server directly, or a simulated
+network adapter).
+
+The paid request path (§IV-E.3, steps (A) and (D) of Fig. 5):
+
+1. pick the next cumulative amount ``a`` from the fee schedule,
+2. pin the latest locally verified header hash ``h_B``,
+3. build + sign the request (payment signature σ_a, request signature σ_req),
+4. send, receive, sync any headers needed, then run the six §V-D checks,
+5. VALID → hand the result to the application; INVALID → raise
+   :class:`InvalidResponse` (terminate, fail over); FRAUD → assemble a fraud
+   package and raise :class:`FraudDetected` (report via a witness node).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Protocol
+
+from ..chain.header import BlockHeader
+from ..chain.transaction import Transaction, UnsignedTransaction
+from ..contracts.addresses import CHANNELS_MODULE_ADDRESS
+from ..contracts.channels import channel_status_slot
+from ..crypto.keys import Address, PrivateKey
+from ..lightclient.sync import HeaderSyncer, SyncError
+from ..rlp import codec as rlp
+from ..vm.abi import encode_call
+from .channel import ChannelError, ClientChannel
+from .constants import DEFAULT_HANDSHAKE_EXPIRY_SECONDS, MAX_AMOUNT
+from .fraudproof import FraudProofError, FraudProofPackage, build_fraud_package
+from .handshake import Handshake, HandshakeConfirm, HandshakeError, OpenChannelReceipt
+from .messages import MessageError, PARPRequest, PARPResponse, RpcCall
+from .pricing import DEFAULT_FEE_SCHEDULE, FeeSchedule
+from .queries import decode_balance, decode_inclusion, decode_int_result
+from .states import LightClientState, ResponseClass
+from .verification import VerificationReport, classify_response
+
+__all__ = [
+    "ServerEndpoint",
+    "SessionError",
+    "InvalidResponse",
+    "FraudDetected",
+    "RequestOutcome",
+    "LightClientSession",
+]
+
+DEFAULT_GAS_PRICE = 12 * 10 ** 9
+DEFAULT_GAS_LIMIT = 500_000
+
+
+class ServerEndpoint(Protocol):
+    """What a light client needs from a (remote) PARP full node."""
+
+    @property
+    def address(self) -> Address: ...
+    def handshake(self, msg: Handshake) -> HandshakeConfirm: ...
+    def open_channel(self, raw_tx: bytes) -> OpenChannelReceipt: ...
+    def serve_request(self, wire: bytes) -> bytes: ...
+    def relay_transaction(self, raw_tx: bytes) -> bytes: ...
+    def get_transaction_count(self, address: Address) -> int: ...
+    def serve_header(self, number: int) -> Optional[BlockHeader]: ...
+    def serve_head_number(self) -> int: ...
+
+
+class SessionError(Exception):
+    """Protocol/lifecycle errors on the client side."""
+
+
+class InvalidResponse(SessionError):
+    """The response failed a check that precludes a fraud proof (§IV-F:
+    "It is sensible for the client to terminate the connection")."""
+
+    def __init__(self, report: VerificationReport) -> None:
+        super().__init__(f"invalid response [{report.check}]: {report.detail}")
+        self.report = report
+
+
+class FraudDetected(SessionError):
+    """The response is provably fraudulent; carries the evidence package."""
+
+    def __init__(self, report: VerificationReport,
+                 package: Optional[FraudProofPackage]) -> None:
+        super().__init__(f"fraud detected [{report.check}]: {report.detail}")
+        self.report = report
+        self.package = package
+
+
+@dataclass(frozen=True)
+class RequestOutcome:
+    """A verified request/response round."""
+
+    request: PARPRequest
+    response: PARPResponse
+    report: VerificationReport
+    amount_paid: int          # cumulative a after this request
+
+
+class LightClientSession:
+    """One light client ↔ full node PARP connection."""
+
+    def __init__(self, key: PrivateKey, endpoint: ServerEndpoint,
+                 headers: HeaderSyncer,
+                 fee_schedule: FeeSchedule = DEFAULT_FEE_SCHEDULE,
+                 gas_price: int = DEFAULT_GAS_PRICE,
+                 clock=None) -> None:
+        self.key = key
+        self.endpoint = endpoint
+        self.headers = headers
+        self.fee_schedule = fee_schedule
+        self.gas_price = gas_price
+        self.state = LightClientState.IDLE
+        self.channel: Optional[ClientChannel] = None
+        self.full_node: Optional[Address] = None
+        self.history: list[RequestOutcome] = []
+        self._clock = clock
+
+    @property
+    def address(self) -> Address:
+        return self.key.address
+
+    @property
+    def alpha(self) -> Optional[bytes]:
+        return self.channel.alpha if self.channel else None
+
+    def _now(self) -> int:
+        if self._clock is not None:
+            return int(self._clock())
+        # Without a wall clock, chain time is the shared notion of "now".
+        return self.headers.tip.timestamp if len(self.headers.chain) else 0
+
+    # ------------------------------------------------------------------ #
+    # Connection setup (Algorithm 1, light-client side)
+    # ------------------------------------------------------------------ #
+
+    def connect(self, budget: int,
+                gas_limit: int = DEFAULT_GAS_LIMIT) -> bytes:
+        """Handshake and open a funded payment channel; returns α."""
+        if self.state is not LightClientState.IDLE:
+            raise SessionError(f"cannot connect while {self.state.value}")
+        if not 0 < budget <= MAX_AMOUNT:
+            raise SessionError("budget out of range")
+
+        # line 4: fetch the latest block hash from the network
+        self.headers.sync()
+        # lines 5-8: HANDSHAKE, await HSCONFIRM
+        self.state = LightClientState.HANDSHAKING
+        try:
+            confirm = self.endpoint.handshake(Handshake(self.address))
+        except Exception:
+            self.state = LightClientState.IDLE
+            raise
+        try:
+            confirm.verify(self.address)     # line 11
+        except HandshakeError:
+            self.state = LightClientState.IDLE
+            raise
+        if confirm.expiry < self._now():
+            self.state = LightClientState.IDLE
+            raise SessionError("handshake confirmation already expired")
+        self.full_node = confirm.full_node
+
+        # lines 13-16: form, sign, and send the OpenChannel transaction
+        nonce = self.endpoint.get_transaction_count(self.address)
+        open_tx = UnsignedTransaction(
+            nonce=nonce, gas_price=self.gas_price, gas_limit=gas_limit,
+            to=CHANNELS_MODULE_ADDRESS, value=budget,
+            data=encode_call(
+                "open_channel",
+                [confirm.full_node, confirm.expiry, confirm.signature],
+            ),
+        ).sign(self.key)
+        self.state = LightClientState.UNBONDED
+        try:
+            receipt = self.endpoint.open_channel(open_tx.encode())
+            receipt.verify(confirm.full_node)   # lines 17-18
+        except Exception:
+            self.state = LightClientState.IDLE
+            raise
+        self.channel = ClientChannel(
+            alpha=receipt.channel_id, full_node=confirm.full_node, budget=budget,
+        )
+        self.state = LightClientState.BONDED     # line 21
+        return receipt.channel_id
+
+    def adopt_channel(self, alpha: bytes, full_node: Address, budget: int,
+                      spent: int = 0) -> None:
+        """Resume a known open channel (reconnect without reopening)."""
+        if self.state is not LightClientState.IDLE:
+            raise SessionError(f"cannot adopt a channel while {self.state.value}")
+        self.channel = ClientChannel(
+            alpha=alpha, full_node=full_node, budget=budget, spent=spent,
+        )
+        self.full_node = full_node
+        self.state = LightClientState.BONDED
+
+    # ------------------------------------------------------------------ #
+    # The paid request path (steps (A) and (D) of Fig. 5)
+    # ------------------------------------------------------------------ #
+
+    def request(self, method: str, *params: Any,
+                tip: int = 0) -> RequestOutcome:
+        """One paid RPC round; returns the verified outcome.
+
+        ``tip`` adds extra payment on top of the fee schedule (e.g. for
+        priority service).  Raises on INVALID/FRAUD classifications.
+        """
+        if self.state is not LightClientState.BONDED or self.channel is None:
+            raise SessionError(f"no bonded channel (state={self.state.value})")
+        call = RpcCall.create(method, *params)
+        price = self.fee_schedule.price(call) + tip
+        try:
+            amount = self.channel.next_amount(price)
+        except ChannelError as exc:
+            raise SessionError(str(exc)) from exc
+
+        request = self.build_request(call, amount)
+        # Money leaves our budget the moment the signature is on the wire.
+        self.channel.record_request(amount)
+        try:
+            raw = self.endpoint.serve_request(request.encode_wire())
+        except Exception as exc:
+            raise InvalidResponse(VerificationReport(
+                ResponseClass.INVALID, "transport", str(exc),
+            )) from exc
+        return self.process_response(request, raw)
+
+    def build_request(self, call: RpcCall, amount: int) -> PARPRequest:
+        """Step (A): pin h_B and produce the doubly signed request."""
+        h_b = self.headers.tip.hash
+        return PARPRequest.build(
+            alpha=self.channel.alpha, h_b=h_b, amount=amount,
+            call=call, key=self.key,
+        )
+
+    def process_response(self, request: PARPRequest, raw: bytes) -> RequestOutcome:
+        """Step (D): decode, header-sync, classify, and act on a response."""
+        try:
+            response = PARPResponse.decode_wire(raw)
+        except MessageError as exc:
+            raise InvalidResponse(VerificationReport(
+                ResponseClass.INVALID, "decode", str(exc),
+            )) from exc
+
+        # Fetch any headers verification will need (free, multi-source).
+        request_height = self.headers.height_of(request.h_b)
+        if request_height is None:
+            raise SessionError("request pinned a header we no longer track")
+        try:
+            if response.m_b > self.headers.chain.tip_number:
+                self.headers.sync_to(response.m_b)
+        except SyncError:
+            pass  # classification will mark it unverifiable/invalid
+
+        report = classify_response(
+            request, response, self.channel.alpha, self.full_node,
+            request_height, self.headers.get_header,
+        )
+        outcome = RequestOutcome(
+            request=request, response=response, report=report,
+            amount_paid=request.a,
+        )
+        self.history.append(outcome)
+
+        if report.classification is ResponseClass.FRAUD:
+            package = self._try_build_package(request, response)
+            self.state = LightClientState.UNBONDING  # terminate the connection
+            raise FraudDetected(report, package)
+        if report.classification is ResponseClass.INVALID:
+            raise InvalidResponse(report)
+        return outcome
+
+    def _try_build_package(self, request: PARPRequest,
+                           response: PARPResponse) -> Optional[FraudProofPackage]:
+        try:
+            return build_fraud_package(
+                request, response, self.channel.alpha, self.headers.get_header,
+                get_by_hash=self.headers.chain.get_by_hash,
+            )
+        except FraudProofError:
+            return None
+
+    # ------------------------------------------------------------------ #
+    # Typed convenience wrappers
+    # ------------------------------------------------------------------ #
+
+    def get_balance(self, address: Address) -> int:
+        outcome = self.request("eth_getBalance", address)
+        return decode_balance(outcome.response.result)
+
+    def get_storage_at(self, address: Address, slot: bytes) -> bytes:
+        outcome = self.request("eth_getStorageAt", address, slot)
+        item = rlp.decode(outcome.response.result)
+        return item[0] if isinstance(item, list) and item else b""
+
+    def get_transaction(self, number: int, index: int) -> bytes:
+        outcome = self.request(
+            "eth_getTransactionByBlockNumberAndIndex", number, index,
+        )
+        _, _, tx_bytes = _triple(outcome.response.result)
+        return tx_bytes
+
+    def send_raw_transaction(self, raw: bytes) -> tuple[Optional[int], Optional[int], bytes]:
+        """Submit a transaction; returns (block, index, tx_hash)."""
+        outcome = self.request("eth_sendRawTransaction", raw)
+        return decode_inclusion(outcome.response.result)
+
+    def send_transaction(self, tx: Transaction) -> tuple[Optional[int], Optional[int], bytes]:
+        return self.send_raw_transaction(tx.encode())
+
+    def get_transaction_receipt(self, tx_hash: bytes) -> bytes:
+        outcome = self.request("eth_getTransactionReceipt", tx_hash)
+        _, _, receipt_bytes = _triple(outcome.response.result)
+        return receipt_bytes
+
+    def block_number(self) -> int:
+        outcome = self.request("eth_blockNumber")
+        return decode_int_result(outcome.response.result)
+
+    # ------------------------------------------------------------------ #
+    # Liveness check (§V-C)
+    # ------------------------------------------------------------------ #
+
+    def channel_status_fast(self) -> int:
+        """Unverified probe: ask the FN what it thinks the status is."""
+        outcome = self.request("parp_channelStatus", self.channel.alpha)
+        return decode_int_result(outcome.response.result)
+
+    def channel_status_verified(self) -> int:
+        """Verified probe: read the CMM's status slot with a storage proof.
+
+        Even a lying full node cannot fake this — the value authenticates
+        against the state root of a header the client obtained from
+        independent sources (the §V-C defense against secretly closed
+        channels).
+        """
+        slot = channel_status_slot(self.channel.alpha)
+        raw = self.get_storage_at(CHANNELS_MODULE_ADDRESS, slot)
+        return int.from_bytes(raw, "big") if raw else 0
+
+    # ------------------------------------------------------------------ #
+    # Closure (§IV-E.4, client side)
+    # ------------------------------------------------------------------ #
+
+    def build_close_transaction(self, gas_limit: int = 300_000) -> Transaction:
+        """CloseChannel tx carrying our latest signed cumulative amount."""
+        if self.channel is None:
+            raise SessionError("no channel to close")
+        from .messages import payment_digest
+
+        amount = self.channel.spent
+        sig_a = (self.key.sign(payment_digest(self.channel.alpha, amount)).to_bytes()
+                 if amount else b"")
+        nonce = self.endpoint.get_transaction_count(self.address)
+        return UnsignedTransaction(
+            nonce=nonce, gas_price=self.gas_price, gas_limit=gas_limit,
+            to=CHANNELS_MODULE_ADDRESS, value=0,
+            data=encode_call(
+                "close_channel", [self.channel.alpha, amount, sig_a],
+            ),
+        ).sign(self.key)
+
+    def close(self, relay: Optional[ServerEndpoint] = None) -> bytes:
+        """Start closure (through any relay — not necessarily our FN)."""
+        if self.state is not LightClientState.BONDED:
+            raise SessionError(f"cannot close while {self.state.value}")
+        tx = self.build_close_transaction()
+        endpoint = relay if relay is not None else self.endpoint
+        tx_hash = endpoint.relay_transaction(tx.encode())
+        self.state = LightClientState.UNBONDING
+        return tx_hash
+
+    def confirm_close(self, relay: Optional[ServerEndpoint] = None) -> bytes:
+        """Settle after the dispute window; returns to IDLE."""
+        if self.state is not LightClientState.UNBONDING or self.channel is None:
+            raise SessionError(f"cannot confirm closure while {self.state.value}")
+        endpoint = relay if relay is not None else self.endpoint
+        nonce = endpoint.get_transaction_count(self.address)
+        tx = UnsignedTransaction(
+            nonce=nonce, gas_price=self.gas_price, gas_limit=300_000,
+            to=CHANNELS_MODULE_ADDRESS, value=0,
+            data=encode_call("confirm_closure", [self.channel.alpha]),
+        ).sign(self.key)
+        tx_hash = endpoint.relay_transaction(tx.encode())
+        self.state = LightClientState.IDLE
+        self.channel = None
+        self.full_node = None
+        return tx_hash
+
+
+def _triple(raw: bytes) -> tuple[bytes, bytes, bytes]:
+    item = rlp.decode(raw)
+    if not isinstance(item, list) or len(item) != 3:
+        raise SessionError("malformed result payload")
+    return item[0], item[1], item[2]

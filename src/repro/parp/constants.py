@@ -1,0 +1,73 @@
+"""Protocol-wide constants for PARP.
+
+Field widths define the canonical wire layout of Fig. 3 and therefore the
+message-size overheads of Table II:
+
+* request metadata: α(16) ‖ h_B(32) ‖ a(16) ‖ h_req(32) ‖ σ_a(65) ‖ σ_req(65)
+  = **226 bytes**,
+* response metadata: status(1) ‖ m_B(8) ‖ a(16) ‖ h_req(32) ‖ σ_req(65) ‖
+  σ_res(65) = **187 bytes** (the channel id is carried by the channel-scoped
+  transport session and inside the signed pre-image, not resent on the wire).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ALPHA_BYTES",
+    "AMOUNT_BYTES",
+    "HASH_BYTES",
+    "SIGNATURE_BYTES",
+    "HEIGHT_BYTES",
+    "STATUS_BYTES",
+    "REQUEST_OVERHEAD_BYTES",
+    "RESPONSE_OVERHEAD_BYTES",
+    "MAX_AMOUNT",
+    "MIN_FULL_NODE_DEPOSIT",
+    "DISPUTE_WINDOW_BLOCKS",
+    "UNBONDING_BLOCKS",
+    "HANDSHAKE_TIMEOUT_SECONDS",
+    "DEFAULT_HANDSHAKE_EXPIRY_SECONDS",
+    "LIVENESS_PERIOD_SECONDS",
+    "BLOCKHASH_WINDOW",
+    "WEI_PER_TOKEN",
+]
+
+# -- wire-format field widths (Table II) ---------------------------------- #
+ALPHA_BYTES = 16       # channel identifier α (uint128)
+AMOUNT_BYTES = 16      # cumulative payment amount a (uint128)
+HASH_BYTES = 32
+SIGNATURE_BYTES = 65   # recoverable ECDSA (r ‖ s ‖ v)
+HEIGHT_BYTES = 8       # block height m_B (uint64)
+STATUS_BYTES = 1
+
+REQUEST_OVERHEAD_BYTES = (
+    ALPHA_BYTES + HASH_BYTES + AMOUNT_BYTES + HASH_BYTES
+    + SIGNATURE_BYTES + SIGNATURE_BYTES
+)  # = 226
+RESPONSE_OVERHEAD_BYTES = (
+    STATUS_BYTES + HEIGHT_BYTES + AMOUNT_BYTES + HASH_BYTES
+    + SIGNATURE_BYTES + SIGNATURE_BYTES
+)  # = 187
+
+MAX_AMOUNT = (1 << (8 * AMOUNT_BYTES)) - 1
+
+# -- economics ------------------------------------------------------------- #
+WEI_PER_TOKEN = 10 ** 18
+#: collateral a full node must lock before it may serve (paper §IV-B).
+MIN_FULL_NODE_DEPOSIT = 32 * WEI_PER_TOKEN
+
+# -- on-chain timing --------------------------------------------------------- #
+#: challenge period after a CloseChannel transaction (paper §IV-E.4).
+DISPUTE_WINDOW_BLOCKS = 10
+#: delay between a full node stopping service and withdrawing collateral.
+UNBONDING_BLOCKS = 32
+#: the FDM can authenticate headers only inside this window (paper §VI).
+BLOCKHASH_WINDOW = 256
+
+# -- off-chain timing -------------------------------------------------------- #
+#: hsTimer from Algorithm 1: how long the LC waits for HSCONFIRM.
+HANDSHAKE_TIMEOUT_SECONDS = 10.0
+#: how long a full node's handshake confirmation stays redeemable.
+DEFAULT_HANDSHAKE_EXPIRY_SECONDS = 120.0
+#: cadence of the light client's channel liveness probe (paper §V-C).
+LIVENESS_PERIOD_SECONDS = 30.0

@@ -1,0 +1,185 @@
+"""Fraud-proof construction and witness submission (paper §IV-F).
+
+When the light client classifies a response as FRAUD it assembles a
+:class:`FraudProofPackage` — the request, the response (with α re-attached),
+and the block headers the on-chain module needs to re-run the checks.  It
+cannot submit the package through the misbehaving node ("obviously we cannot
+trust the full node to submit a proof of its own fraudulent behavior"), so it
+hands it to a *witness* full node, which wraps it in a transaction to the
+Fraud Detection Module, pays the gas, and collects the witness share of the
+slashed deposit.  The light client needs no payment channel with the witness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..chain.header import BlockHeader
+from ..chain.transaction import UnsignedTransaction
+from ..contracts.addresses import FRAUD_MODULE_ADDRESS
+from ..crypto.keys import Address, PrivateKey
+from ..node.fullnode import FullNode
+from ..rlp import codec as rlp
+from ..vm.abi import encode_call
+from .messages import PARPRequest, PARPResponse
+
+__all__ = [
+    "FraudProofError",
+    "FraudProofPackage",
+    "needed_proof_header_number",
+    "build_fraud_package",
+    "WitnessService",
+]
+
+_STATE_QUERIES = frozenset({"eth_getBalance", "eth_getStorageAt"})
+_INCLUSION_QUERIES = frozenset({
+    "eth_sendRawTransaction",
+    "eth_getTransactionByBlockNumberAndIndex",
+    "eth_getTransactionReceipt",
+})
+
+
+class FraudProofError(Exception):
+    """Raised when a fraud package cannot be assembled or submitted."""
+
+
+def needed_proof_header_number(request: PARPRequest,
+                               response: PARPResponse) -> Optional[int]:
+    """Which block's header the FDM needs to adjudicate the Merkle check.
+
+    State queries prove against the state root at ``res.m_B``; inclusion
+    queries prove against the tx/receipt roots of the block named in the
+    result payload.
+    """
+    method = request.call.method
+    if method in _STATE_QUERIES:
+        return response.m_b
+    if method in _INCLUSION_QUERIES:
+        try:
+            item = rlp.decode(response.result)
+        except rlp.RLPError:
+            return response.m_b  # undecodable result: any canonical header works
+        if isinstance(item, list) and len(item) == 3 and isinstance(item[0], bytes):
+            if item[0] == b"":
+                return None  # pending acknowledgement, nothing to prove
+            try:
+                return rlp.decode_int(item[0])
+            except rlp.RLPError:
+                return response.m_b
+        return response.m_b
+    return None
+
+
+@dataclass(frozen=True)
+class FraudProofPackage:
+    """Everything the FDM needs: evidence plus authenticated headers."""
+
+    alpha: bytes
+    request: PARPRequest
+    response: PARPResponse
+    proof_header: BlockHeader   # canonical header for the Merkle adjudication
+    req_header: BlockHeader     # the header pinned by req.h_B (height reference)
+
+    def fdm_args(self, witness: Address) -> list[Any]:
+        """Argument list for ``FraudModule.submit_fraud_proof``."""
+        return [
+            self.request.encode_wire(),
+            self.response.encode_for_fraud(self.alpha),
+            self.proof_header.encode(),
+            self.req_header.encode(),
+            witness,
+        ]
+
+    def calldata(self, witness: Address) -> bytes:
+        return encode_call("submit_fraud_proof", self.fdm_args(witness))
+
+    @property
+    def size_bytes(self) -> int:
+        """Total evidence size (drives the fraud-proof gas cost in Table IV)."""
+        return sum(len(b) for b in self.fdm_args(Address.zero())[:4]) + 20
+
+
+def build_fraud_package(request: PARPRequest, response: PARPResponse,
+                        alpha: bytes, get_header,
+                        get_by_hash=None) -> FraudProofPackage:
+    """Assemble a package from the client's local header chain.
+
+    ``get_header`` maps a block number to a header and ``get_by_hash`` maps
+    a block hash to a header (both from the client's synced chain).  Raises
+    :class:`FraudProofError` when the needed headers are not locally
+    available — in that case the response was classified INVALID, not
+    FRAUD, so this should not happen for genuine fraud classifications.
+    """
+    # The request pinned h_B from the client's own chain, so the client can
+    # always resolve it — by hash when an index is available, otherwise by
+    # scanning down from the response height.
+    req_header = get_by_hash(request.h_b) if get_by_hash is not None else None
+    if req_header is None:
+        for offset in range(0, 512):
+            header = get_header(response.m_b - offset)
+            if header is None:
+                break
+            if header.hash == request.h_b:
+                req_header = header
+                break
+    if req_header is None:
+        raise FraudProofError("cannot locate the header pinned by req.h_B")
+    number = needed_proof_header_number(request, response)
+    proof_number = number if number is not None else req_header.number
+    proof_header = get_header(proof_number)
+    if proof_header is None:
+        raise FraudProofError(f"missing header {proof_number} for the proof check")
+    return FraudProofPackage(
+        alpha=alpha, request=request, response=response,
+        proof_header=proof_header, req_header=req_header,
+    )
+
+
+class WitnessService:
+    """A witness full node that submits fraud proofs on-chain (§IV-F).
+
+    Incentive: the Deposit Module pays the witness a fixed share of the
+    slashed collateral, which (for any sane deposit size) dwarfs the gas
+    cost of the submission.
+    """
+
+    def __init__(self, node: FullNode, key: Optional[PrivateKey] = None,
+                 gas_price: int = 12 * 10 ** 9,
+                 gas_limit: int = 2_000_000) -> None:
+        self.node = node
+        self.key = key or node.key
+        self.gas_price = gas_price
+        self.gas_limit = gas_limit
+        self.submitted = 0
+        self.confirmed = 0
+
+    @property
+    def address(self) -> Address:
+        return self.key.address
+
+    def submit(self, package: FraudProofPackage) -> bytes:
+        """Build, sign, submit, and mine the fraud-proof transaction.
+
+        Returns the transaction hash; raises :class:`FraudProofError` if the
+        transaction reverted (i.e. the FDM found no fraud).
+        """
+        sender = self.key.address
+        nonce = self.node.chain.state.nonce_of(sender)
+        tx = UnsignedTransaction(
+            nonce=nonce, gas_price=self.gas_price, gas_limit=self.gas_limit,
+            to=FRAUD_MODULE_ADDRESS, value=0,
+            data=package.calldata(self.address),
+        ).sign(self.key)
+        tx_hash = self.node.submit_transaction(tx.encode())
+        location = self.node.ensure_mined(tx_hash)
+        self.submitted += 1
+        if location is None:
+            raise FraudProofError("fraud-proof transaction was not included")
+        receipt = self.node.chain.get_receipt(tx_hash)
+        if receipt is None or not receipt.succeeded:
+            raise FraudProofError(
+                "fraud-proof transaction reverted (no fraud adjudicated)"
+            )
+        self.confirmed += 1
+        return tx_hash

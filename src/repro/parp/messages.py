@@ -1,0 +1,421 @@
+"""PARP wire messages: the request/response structures of Fig. 3.
+
+A request is ``req = (α, h_B, a, γ, h_req, σ_a, σ_req)``:
+
+* ``α``     — channel identifier (16 bytes),
+* ``h_B``   — most recent block hash known to the light client,
+* ``a``     — *cumulative* payment amount (must be monotone per channel),
+* ``γ``     — the wrapped base-layer RPC call,
+* ``h_req`` — ``keccak256(α ‖ h_B ‖ a ‖ γ)``,
+* ``σ_a``   — LC signature over ``keccak256(α ‖ a)`` (the micropayment —
+  this is what the full node redeems on-chain),
+* ``σ_req`` — LC signature over ``h_req`` (binds the payment to the call,
+  needed for fraud proofs).
+
+A response is ``res = (α, m_B, a, R(γ), π_γ, h_req, σ_req, σ_res)`` where
+``σ_res`` signs ``h_res = keccak256(α ‖ status ‖ m_B ‖ a ‖ rlp([R, π]) ‖
+h_req ‖ σ_req)``.  On the wire the response omits ``α`` (the session is
+channel-scoped) but ``α`` stays in the signed pre-image, so the 187-byte
+metadata figure of Table II is met while fraud proofs remain α-bound; the
+*fraud blob* (`encode_for_fraud`) re-attaches α explicitly for on-chain
+decoding, mirroring ``decodeResponse`` in Algorithm 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Optional, Sequence
+
+from ..crypto import Signature, SignatureError, keccak256, recover_address
+from ..crypto.keys import Address, PrivateKey
+from ..rlp import codec as rlp
+from .constants import (
+    ALPHA_BYTES,
+    AMOUNT_BYTES,
+    HASH_BYTES,
+    HEIGHT_BYTES,
+    MAX_AMOUNT,
+    REQUEST_OVERHEAD_BYTES,
+    RESPONSE_OVERHEAD_BYTES,
+    SIGNATURE_BYTES,
+    STATUS_BYTES,
+)
+
+__all__ = [
+    "MessageError",
+    "RpcCall",
+    "PARPRequest",
+    "PARPResponse",
+    "ResponseStatus",
+    "payment_digest",
+    "payment_preimage",
+    "handshake_digest",
+    "handshake_preimage",
+    "request_digest",
+    "response_digest",
+    "response_preimage",
+]
+
+
+class MessageError(ValueError):
+    """Raised on malformed PARP wire data."""
+
+
+class ResponseStatus:
+    """Response status byte values."""
+
+    OK = 0
+    ERROR = 1  # base-layer RPC error (e.g. unknown method); still signed
+
+
+def _encode_amount(amount: int) -> bytes:
+    if not 0 <= amount <= MAX_AMOUNT:
+        raise MessageError(f"payment amount {amount} out of u128 range")
+    return amount.to_bytes(AMOUNT_BYTES, "big")
+
+
+def _encode_height(height: int) -> bytes:
+    if not 0 <= height < (1 << (8 * HEIGHT_BYTES)):
+        raise MessageError(f"block height {height} out of u64 range")
+    return height.to_bytes(HEIGHT_BYTES, "big")
+
+
+def payment_preimage(alpha: bytes, amount: int) -> bytes:
+    """Bytes hashed for σ_a; shared with the on-chain CMM (metered there)."""
+    if len(alpha) != ALPHA_BYTES:
+        raise MessageError(f"channel id must be {ALPHA_BYTES} bytes")
+    return alpha + _encode_amount(amount)
+
+
+def payment_digest(alpha: bytes, amount: int) -> bytes:
+    """``Hash(α, a)`` — the digest behind σ_a; also checked on-chain by the
+    Channels Management Module when redeeming or disputing."""
+    return keccak256(payment_preimage(alpha, amount))
+
+
+def handshake_preimage(light_client: Address, expiry: int) -> bytes:
+    """Bytes behind the handshake confirmation ``Sign((LC ‖ expiryDate),
+    sk_FN)`` of Algorithm 1; verified again on-chain when opening a channel."""
+    if expiry < 0 or expiry >= (1 << 64):
+        raise MessageError("handshake expiry out of u64 range")
+    return light_client.to_bytes() + expiry.to_bytes(8, "big")
+
+
+def handshake_digest(light_client: Address, expiry: int) -> bytes:
+    return keccak256(handshake_preimage(light_client, expiry))
+
+
+def request_digest(alpha: bytes, h_b: bytes, amount: int, call_bytes: bytes) -> bytes:
+    """``h_req = Hash(α, h_B, a, γ)``."""
+    if len(alpha) != ALPHA_BYTES or len(h_b) != HASH_BYTES:
+        raise MessageError("bad α or h_B length in request digest")
+    return keccak256(alpha + h_b + _encode_amount(amount) + call_bytes)
+
+
+def response_preimage(alpha: bytes, status: int, m_b: int, amount: int,
+                      payload: bytes, h_req: bytes, sig_req: bytes) -> bytes:
+    """Bytes behind h_res; shared with the on-chain FDM (metered there)."""
+    if len(alpha) != ALPHA_BYTES:
+        raise MessageError(f"channel id must be {ALPHA_BYTES} bytes")
+    return (
+        alpha + bytes([status]) + _encode_height(m_b) + _encode_amount(amount)
+        + payload + h_req + sig_req
+    )
+
+
+def response_digest(alpha: bytes, status: int, m_b: int, amount: int,
+                    payload: bytes, h_req: bytes, sig_req: bytes) -> bytes:
+    """``h_res = Hash(α, status, m_B, a, rlp([R, π]), h_req, σ_req)``."""
+    return keccak256(
+        response_preimage(alpha, status, m_b, amount, payload, h_req, sig_req)
+    )
+
+
+# --------------------------------------------------------------------------- #
+# RPC call γ
+# --------------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class RpcCall:
+    """The base-layer RPC call γ wrapped inside a PARP request.
+
+    Parameters are RLP items (bytes / nested lists); helpers convert common
+    Python values.  The canonical encoding is ``rlp([method, param, …])``.
+    """
+
+    method: str
+    params: tuple[rlp.Item, ...] = ()
+
+    @classmethod
+    def create(cls, method: str, *params: Any) -> "RpcCall":
+        return cls(method=method, params=tuple(_param_to_item(p) for p in params))
+
+    def encode(self) -> bytes:
+        return rlp.encode([self.method.encode("utf-8"), *self.params])
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "RpcCall":
+        try:
+            item = rlp.decode(raw)
+        except rlp.RLPError as exc:
+            raise MessageError(f"undecodable RPC call: {exc}") from exc
+        if not isinstance(item, list) or not item or not isinstance(item[0], bytes):
+            raise MessageError("RPC call must be rlp([method, params…])")
+        try:
+            method = item[0].decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise MessageError("RPC method name is not UTF-8") from exc
+        return cls(method=method, params=tuple(item[1:]))
+
+    def param_bytes(self, index: int, exact: int | None = None) -> bytes:
+        if index >= len(self.params) or not isinstance(self.params[index], bytes):
+            raise MessageError(f"{self.method}: missing bytes param {index}")
+        value = self.params[index]
+        if exact is not None and len(value) != exact:
+            raise MessageError(
+                f"{self.method}: param {index} must be {exact} bytes, got {len(value)}"
+            )
+        return value
+
+    def param_int(self, index: int) -> int:
+        raw = self.param_bytes(index)
+        try:
+            return rlp.decode_int(raw)
+        except rlp.RLPError as exc:
+            raise MessageError(f"{self.method}: bad integer param {index}") from exc
+
+    def __repr__(self) -> str:
+        return f"RpcCall({self.method}, {len(self.params)} params)"
+
+
+def _param_to_item(value: Any) -> rlp.Item:
+    if isinstance(value, bool):
+        return rlp.encode_int(int(value))
+    if isinstance(value, int):
+        if value < 0:
+            raise MessageError("negative RPC parameters are not encodable")
+        return rlp.encode_int(value)
+    if isinstance(value, Address):
+        return value.to_bytes()
+    if isinstance(value, (bytes, bytearray)):
+        return bytes(value)
+    if isinstance(value, str):
+        return value.encode("utf-8")
+    if isinstance(value, (list, tuple)):
+        return [_param_to_item(v) for v in value]
+    raise MessageError(f"cannot encode RPC parameter of type {type(value).__name__}")
+
+
+# --------------------------------------------------------------------------- #
+# Request
+# --------------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class PARPRequest:
+    """A signed PARP request (Fig. 3, left)."""
+
+    alpha: bytes
+    h_b: bytes
+    a: int
+    call: RpcCall
+    h_req: bytes
+    sig_a: bytes
+    sig_req: bytes
+
+    @classmethod
+    def build(cls, alpha: bytes, h_b: bytes, amount: int, call: RpcCall,
+              key: PrivateKey) -> "PARPRequest":
+        """Construct and sign a request (light-client side, step (A))."""
+        call_bytes = call.encode()
+        h_req = request_digest(alpha, h_b, amount, call_bytes)
+        sig_a = key.sign(payment_digest(alpha, amount)).to_bytes()
+        sig_req = key.sign(h_req).to_bytes()
+        return cls(alpha=alpha, h_b=h_b, a=amount, call=call,
+                   h_req=h_req, sig_a=sig_a, sig_req=sig_req)
+
+    # -- wire ------------------------------------------------------------- #
+
+    def encode_wire(self) -> bytes:
+        """226 bytes of PARP metadata followed by the base RPC call γ."""
+        return (
+            self.alpha + self.h_b + _encode_amount(self.a) + self.h_req
+            + self.sig_a + self.sig_req + self.call.encode()
+        )
+
+    @classmethod
+    def decode_wire(cls, raw: bytes) -> "PARPRequest":
+        if len(raw) < REQUEST_OVERHEAD_BYTES:
+            raise MessageError(
+                f"request too short: {len(raw)} < {REQUEST_OVERHEAD_BYTES}"
+            )
+        pos = 0
+        alpha = raw[pos:pos + ALPHA_BYTES]; pos += ALPHA_BYTES
+        h_b = raw[pos:pos + HASH_BYTES]; pos += HASH_BYTES
+        amount = int.from_bytes(raw[pos:pos + AMOUNT_BYTES], "big"); pos += AMOUNT_BYTES
+        h_req = raw[pos:pos + HASH_BYTES]; pos += HASH_BYTES
+        sig_a = raw[pos:pos + SIGNATURE_BYTES]; pos += SIGNATURE_BYTES
+        sig_req = raw[pos:pos + SIGNATURE_BYTES]; pos += SIGNATURE_BYTES
+        call = RpcCall.decode(raw[pos:])
+        return cls(alpha=alpha, h_b=h_b, a=amount, call=call,
+                   h_req=h_req, sig_a=sig_a, sig_req=sig_req)
+
+    # -- verification -------------------------------------------------------- #
+
+    def expected_preimage(self) -> bytes:
+        """The exact bytes behind h_req (for metered on-chain recomputation)."""
+        return self.alpha + self.h_b + _encode_amount(self.a) + self.call.encode()
+
+    def expected_digest(self) -> bytes:
+        return request_digest(self.alpha, self.h_b, self.a, self.call.encode())
+
+    def verify(self, expected_sender: Optional[Address] = None) -> Address:
+        """Full-node-side request verification (step (B) in Fig. 5).
+
+        Checks the digest reconstruction and both signatures; returns the
+        recovered light-client address.
+        """
+        if self.h_req != self.expected_digest():
+            raise MessageError("request hash does not match request contents")
+        try:
+            req_signer = recover_address(self.h_req, Signature.from_bytes(self.sig_req))
+            pay_signer = recover_address(
+                payment_digest(self.alpha, self.a), Signature.from_bytes(self.sig_a)
+            )
+        except SignatureError as exc:
+            raise MessageError(f"bad request signature: {exc}") from exc
+        if req_signer != pay_signer:
+            raise MessageError("request and payment signed by different keys")
+        if expected_sender is not None and req_signer != expected_sender:
+            raise MessageError("request signer is not the channel's light client")
+        return req_signer
+
+    @property
+    def wire_overhead(self) -> int:
+        """PARP metadata bytes added on top of the base RPC call (Table II)."""
+        return REQUEST_OVERHEAD_BYTES
+
+
+# --------------------------------------------------------------------------- #
+# Response
+# --------------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class PARPResponse:
+    """A signed PARP response (Fig. 3, right)."""
+
+    status: int
+    m_b: int
+    a: int
+    result: bytes                 # R(γ): rlp-encoded result payload
+    proof: tuple[bytes, ...]      # π_γ: Merkle proof nodes (may be empty)
+    h_req: bytes
+    sig_req: bytes                # echo of the request signature
+    sig_res: bytes
+
+    @staticmethod
+    def _payload(result: bytes, proof: Sequence[bytes]) -> bytes:
+        return rlp.encode([result, list(proof)])
+
+    @classmethod
+    def build(cls, alpha: bytes, request: PARPRequest, m_b: int, result: bytes,
+              proof: Sequence[bytes], key: PrivateKey,
+              status: int = ResponseStatus.OK) -> "PARPResponse":
+        """Construct and sign a response (full-node side, step (C))."""
+        payload = cls._payload(result, proof)
+        h_res = response_digest(
+            alpha, status, m_b, request.a, payload, request.h_req, request.sig_req
+        )
+        return cls(
+            status=status, m_b=m_b, a=request.a, result=result,
+            proof=tuple(proof), h_req=request.h_req, sig_req=request.sig_req,
+            sig_res=key.sign(h_res).to_bytes(),
+        )
+
+    # -- digests ------------------------------------------------------------ #
+
+    def preimage(self, alpha: bytes) -> bytes:
+        """The exact bytes behind h_res (for metered on-chain recomputation)."""
+        payload = self._payload(self.result, self.proof)
+        return response_preimage(
+            alpha, self.status, self.m_b, self.a, payload, self.h_req, self.sig_req
+        )
+
+    def digest(self, alpha: bytes) -> bytes:
+        """Recompute h_res for the given channel id."""
+        payload = self._payload(self.result, self.proof)
+        return response_digest(
+            alpha, self.status, self.m_b, self.a, payload, self.h_req, self.sig_req
+        )
+
+    def signer(self, alpha: bytes) -> Address:
+        """Recover the full-node address that signed this response."""
+        try:
+            return recover_address(self.digest(alpha), Signature.from_bytes(self.sig_res))
+        except SignatureError as exc:
+            raise MessageError(f"bad response signature: {exc}") from exc
+
+    # -- wire ------------------------------------------------------------- #
+
+    def encode_wire(self) -> bytes:
+        """187 bytes of metadata followed by rlp([R(γ), π_γ])."""
+        return (
+            bytes([self.status]) + _encode_height(self.m_b) + _encode_amount(self.a)
+            + self.h_req + self.sig_req + self.sig_res
+            + self._payload(self.result, self.proof)
+        )
+
+    @classmethod
+    def decode_wire(cls, raw: bytes) -> "PARPResponse":
+        if len(raw) < RESPONSE_OVERHEAD_BYTES:
+            raise MessageError(
+                f"response too short: {len(raw)} < {RESPONSE_OVERHEAD_BYTES}"
+            )
+        pos = 0
+        status = raw[pos]; pos += STATUS_BYTES
+        m_b = int.from_bytes(raw[pos:pos + HEIGHT_BYTES], "big"); pos += HEIGHT_BYTES
+        amount = int.from_bytes(raw[pos:pos + AMOUNT_BYTES], "big"); pos += AMOUNT_BYTES
+        h_req = raw[pos:pos + HASH_BYTES]; pos += HASH_BYTES
+        sig_req = raw[pos:pos + SIGNATURE_BYTES]; pos += SIGNATURE_BYTES
+        sig_res = raw[pos:pos + SIGNATURE_BYTES]; pos += SIGNATURE_BYTES
+        try:
+            payload = rlp.decode(raw[pos:])
+        except rlp.RLPError as exc:
+            raise MessageError(f"undecodable response payload: {exc}") from exc
+        if (not isinstance(payload, list) or len(payload) != 2
+                or not isinstance(payload[0], bytes)
+                or not isinstance(payload[1], list)):
+            raise MessageError("response payload must be rlp([result, proof])")
+        proof_nodes = []
+        for node in payload[1]:
+            if not isinstance(node, bytes):
+                raise MessageError("proof nodes must be byte strings")
+            proof_nodes.append(node)
+        return cls(status=status, m_b=m_b, a=amount, result=payload[0],
+                   proof=tuple(proof_nodes), h_req=h_req,
+                   sig_req=sig_req, sig_res=sig_res)
+
+    # -- fraud blob (on-chain format, α re-attached) ------------------------- #
+
+    def encode_for_fraud(self, alpha: bytes) -> bytes:
+        """Serialization submitted to the Fraud Detection Module."""
+        if len(alpha) != ALPHA_BYTES:
+            raise MessageError(f"channel id must be {ALPHA_BYTES} bytes")
+        return alpha + self.encode_wire()
+
+    @classmethod
+    def decode_for_fraud(cls, raw: bytes) -> tuple[bytes, "PARPResponse"]:
+        if len(raw) < ALPHA_BYTES:
+            raise MessageError("fraud blob too short for a channel id")
+        return raw[:ALPHA_BYTES], cls.decode_wire(raw[ALPHA_BYTES:])
+
+    # -- sizes (Table II) ----------------------------------------------------- #
+
+    @property
+    def wire_overhead(self) -> int:
+        """Metadata bytes (187) + Merkle proof bytes, per Table II."""
+        proof_bytes = len(rlp.encode(list(self.proof))) if self.proof else 0
+        return RESPONSE_OVERHEAD_BYTES + proof_bytes
+
+    def with_result(self, result: bytes) -> "PARPResponse":
+        """A tampered copy (used by tests and the malicious-node examples)."""
+        return replace(self, result=result)

@@ -1,0 +1,86 @@
+"""Fee schedules for PARP RPC requests.
+
+The paper leaves the fee schedule as future work (§VIII, "designing a fee
+schedule for RPC requests") but the protocol requires one: every request's
+cumulative amount must grow by at least the price of the call, or the full
+node refuses to serve.  We implement two schedules:
+
+* :class:`FlatFeeSchedule` — every call costs the same (what the simplest
+  provider plans look like, cf. Table I "plan tiers");
+* :class:`CallBasedFeeSchedule` — per-method prices, the "call-based"
+  pricing 3 of 5 surveyed providers use ("charge based on varied call types
+  for a fairer fee calculation", §II-C).
+
+Prices are in wei of the channel's token.  The ablation bench
+``bench_ablation_pricing`` compares budget consumption under both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from .messages import RpcCall
+
+__all__ = [
+    "FeeSchedule",
+    "FlatFeeSchedule",
+    "CallBasedFeeSchedule",
+    "DEFAULT_FEE_SCHEDULE",
+    "GWEI",
+]
+
+GWEI = 10 ** 9
+
+#: Reference prices (wei/call).  Reads are cheap; writes and proof-heavy
+#: queries cost more, mirroring providers' "compute unit" weighting.
+_DEFAULT_PRICES: dict[str, int] = {
+    "eth_blockNumber": 1 * GWEI,
+    "eth_chainId": 1 * GWEI,
+    "eth_getBalance": 10 * GWEI,
+    "eth_getStorageAt": 15 * GWEI,
+    "eth_getTransactionByBlockNumberAndIndex": 15 * GWEI,
+    "eth_getTransactionReceipt": 20 * GWEI,
+    "eth_sendRawTransaction": 50 * GWEI,
+    "parp_channelStatus": 1 * GWEI,
+}
+
+
+class FeeSchedule:
+    """Interface: what does one RPC call cost?"""
+
+    def price(self, call: RpcCall) -> int:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FlatFeeSchedule(FeeSchedule):
+    """Every call costs ``flat_price`` wei."""
+
+    flat_price: int = 10 * GWEI
+
+    def price(self, call: RpcCall) -> int:
+        return self.flat_price
+
+    def describe(self) -> str:
+        return f"flat({self.flat_price} wei/call)"
+
+
+@dataclass(frozen=True)
+class CallBasedFeeSchedule(FeeSchedule):
+    """Per-method prices with a default for unlisted methods."""
+
+    prices: Mapping[str, int] = field(default_factory=lambda: dict(_DEFAULT_PRICES))
+    default_price: int = 10 * GWEI
+
+    def price(self, call: RpcCall) -> int:
+        return self.prices.get(call.method, self.default_price)
+
+    def describe(self) -> str:
+        return f"call-based({len(self.prices)} methods)"
+
+
+DEFAULT_FEE_SCHEDULE = CallBasedFeeSchedule()

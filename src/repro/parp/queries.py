@@ -1,0 +1,429 @@
+"""The verifiable-query catalog: one place that defines, for every supported
+RPC method, how a full node *executes and proves* it and how a light client
+(or the on-chain Fraud Detection Module) *verifies* the result.
+
+Sharing this logic between the off-chain client checks (§V-D) and the
+on-chain Algorithm 2 is what guarantees the two can never disagree about what
+counts as fraud — a property the paper relies on ("the on-chain module can
+use the request and response data to re-check all the conditions").
+
+Supported methods and their proof obligations:
+
+=============================== ============= =====================================
+method                          trie          binding checked by verifiers
+=============================== ============= =====================================
+eth_getBalance(addr)            state @ m_B   result == proven account record
+eth_getStorageAt(addr, slot)    state+storage account proof -> storage root -> slot
+eth_getTransactionByBlockNumberAndIndex  txs  result tx == proven trie value
+eth_sendRawTransaction(raw)     txs @ incl.   proven trie value == submitted raw tx
+eth_getTransactionReceipt(hash) txs+receipts  tx at index hashes to request's hash
+eth_blockNumber / eth_chainId / parp_channelStatus   (unverifiable; no proof)
+=============================== ============= =====================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Protocol, Sequence
+
+from ..chain.account import Account
+from ..chain.block import Block, index_key
+from ..chain.header import BlockHeader
+from ..chain.state import StateDB
+from ..crypto import keccak256
+from ..rlp import codec as rlp
+from ..trie.proof import ProofError, verify_proof
+from .messages import MessageError, PARPResponse, RpcCall
+
+__all__ = [
+    "ChainBackend",
+    "QueryError",
+    "QueryFraud",
+    "Unverifiable",
+    "QuerySpec",
+    "QUERY_CATALOG",
+    "get_spec",
+    "is_verifiable",
+    "execute_query",
+    "verify_query_result",
+    "decode_balance",
+    "decode_inclusion",
+    "decode_int_result",
+]
+
+HeaderLookup = Callable[[int], Optional[BlockHeader]]
+
+
+class QueryError(Exception):
+    """The query cannot be executed (bad params, unknown data)."""
+
+
+class QueryFraud(Exception):
+    """Verification proved the response content wrong — slashing evidence."""
+
+
+class Unverifiable(Exception):
+    """The verifier lacks data (e.g. an unsynced header); cannot classify."""
+
+
+class ChainBackend(Protocol):
+    """What query execution needs from the serving full node's chain."""
+
+    def head_number(self) -> int: ...
+    def get_header(self, number: int) -> Optional[BlockHeader]: ...
+    def state_at(self, number: int) -> StateDB: ...
+    def get_block(self, number: int) -> Optional[Block]: ...
+    def find_transaction(self, tx_hash: bytes) -> Optional[tuple[Block, int]]: ...
+    def submit_transaction(self, raw: bytes) -> bytes: ...
+    def ensure_mined(self, tx_hash: bytes) -> Optional[tuple[int, int]]: ...
+    def chain_id(self) -> int: ...
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """Execution + verification behaviour of one RPC method."""
+
+    method: str
+    verifiable: bool
+    #: (backend, call, m_b) -> (result_bytes, proof_nodes)
+    execute: Callable[[ChainBackend, RpcCall, int], tuple[bytes, list[bytes]]]
+    #: (call, response, header_lookup) -> None, raising QueryFraud/Unverifiable
+    verify: Optional[Callable[[RpcCall, PARPResponse, HeaderLookup], None]] = None
+
+
+# --------------------------------------------------------------------------- #
+# eth_getBalance
+# --------------------------------------------------------------------------- #
+
+def _execute_get_balance(backend: ChainBackend, call: RpcCall,
+                         m_b: int) -> tuple[bytes, list[bytes]]:
+    from ..crypto.keys import Address
+
+    address_raw = call.param_bytes(0, exact=20)
+    state = backend.state_at(m_b)
+    address = Address(address_raw)
+    proof = state.prove_account(address)
+    if state.account_exists(address):
+        result = state.get_account(address).encode()
+    else:
+        result = b""
+    return result, proof
+
+
+def _verify_get_balance(call: RpcCall, response: PARPResponse,
+                        get_header: HeaderLookup) -> None:
+    address_raw = call.param_bytes(0, exact=20)
+    header = get_header(response.m_b)
+    if header is None:
+        raise Unverifiable(f"no header for block {response.m_b}")
+    try:
+        proven = verify_proof(
+            header.state_root, keccak256(address_raw), list(response.proof)
+        )
+    except ProofError as exc:
+        raise QueryFraud(f"account proof does not verify: {exc}") from exc
+    expected = proven if proven is not None else b""
+    if response.result != expected:
+        raise QueryFraud("returned account record differs from proven record")
+
+
+def decode_balance(result: bytes) -> int:
+    """Extract the balance from a getBalance result payload."""
+    if result == b"":
+        return 0
+    return Account.decode(result).balance
+
+
+# --------------------------------------------------------------------------- #
+# eth_getStorageAt
+# --------------------------------------------------------------------------- #
+
+def _execute_get_storage(backend: ChainBackend, call: RpcCall,
+                         m_b: int) -> tuple[bytes, list[bytes]]:
+    from ..crypto.keys import Address
+
+    address_raw = call.param_bytes(0, exact=20)
+    slot = call.param_bytes(1, exact=32)
+    state = backend.state_at(m_b)
+    address = Address(address_raw)
+    account_proof = state.prove_account(address)
+    storage_proof = state.prove_storage(address, slot)
+    account = state.get_account(address)
+    value = state.get_storage(address, slot)
+    result = rlp.encode([value, account.encode() if not account.is_empty else b""])
+    return result, account_proof + storage_proof
+
+
+def _verify_get_storage(call: RpcCall, response: PARPResponse,
+                        get_header: HeaderLookup) -> None:
+    address_raw = call.param_bytes(0, exact=20)
+    slot = call.param_bytes(1, exact=32)
+    header = get_header(response.m_b)
+    if header is None:
+        raise Unverifiable(f"no header for block {response.m_b}")
+    payload = _decode_pair(response.result, "getStorageAt result")
+    claimed_value, claimed_account = payload
+    proof = list(response.proof)
+    try:
+        proven_account = verify_proof(
+            header.state_root, keccak256(address_raw), proof
+        )
+    except ProofError as exc:
+        raise QueryFraud(f"account proof does not verify: {exc}") from exc
+    if (proven_account or b"") != claimed_account:
+        raise QueryFraud("returned account record differs from proven record")
+    if proven_account is None:
+        if claimed_value != b"":
+            raise QueryFraud("storage value claimed for a non-existent account")
+        return
+    account = Account.decode(proven_account)
+    try:
+        proven_value = verify_proof(account.storage_root, keccak256(slot), proof)
+    except ProofError as exc:
+        raise QueryFraud(f"storage proof does not verify: {exc}") from exc
+    expected = b"" if proven_value is None else rlp.decode(proven_value)
+    if claimed_value != expected:
+        raise QueryFraud("returned storage value differs from proven value")
+
+
+# --------------------------------------------------------------------------- #
+# eth_getTransactionByBlockNumberAndIndex
+# --------------------------------------------------------------------------- #
+
+def _execute_get_tx_by_index(backend: ChainBackend, call: RpcCall,
+                             m_b: int) -> tuple[bytes, list[bytes]]:
+    from ..trie.proof import generate_proof
+
+    number = call.param_int(0)
+    index = call.param_int(1)
+    block = backend.get_block(number)
+    if block is None:
+        raise QueryError(f"no block at height {number}")
+    if index >= len(block.transactions):
+        raise QueryError(f"block {number} has no transaction {index}")
+    tx_bytes = block.transactions[index].encode()
+    proof = generate_proof(block.transaction_trie, index_key(index))
+    result = rlp.encode([rlp.encode_int(number), rlp.encode_int(index), tx_bytes])
+    return result, proof
+
+
+def _verify_get_tx_by_index(call: RpcCall, response: PARPResponse,
+                            get_header: HeaderLookup) -> None:
+    number = call.param_int(0)
+    index = call.param_int(1)
+    payload = _decode_triple(response.result, "transaction result")
+    res_number, res_index, tx_bytes = payload
+    if rlp.decode_int(res_number) != number or rlp.decode_int(res_index) != index:
+        raise QueryFraud("result references a different block/index than requested")
+    header = get_header(number)
+    if header is None:
+        raise Unverifiable(f"no header for block {number}")
+    try:
+        proven = verify_proof(
+            header.transactions_root, index_key(index), list(response.proof)
+        )
+    except ProofError as exc:
+        raise QueryFraud(f"transaction proof does not verify: {exc}") from exc
+    if proven is None:
+        raise QueryFraud("proof shows the transaction index is vacant")
+    if proven != tx_bytes:
+        raise QueryFraud("returned transaction differs from proven transaction")
+
+
+# --------------------------------------------------------------------------- #
+# eth_sendRawTransaction (the write workload)
+# --------------------------------------------------------------------------- #
+
+def _execute_send_raw_tx(backend: ChainBackend, call: RpcCall,
+                         m_b: int) -> tuple[bytes, list[bytes]]:
+    from ..trie.proof import generate_proof
+
+    raw_tx = call.param_bytes(0)
+    tx_hash = backend.submit_transaction(raw_tx)
+    location = backend.ensure_mined(tx_hash)
+    if location is None:
+        # Pending: acknowledge without a proof (client re-queries later).
+        return rlp.encode([b"", b"", tx_hash]), []
+    number, index = location
+    block = backend.get_block(number)
+    if block is None:
+        raise QueryError(f"inclusion block {number} disappeared")
+    proof = generate_proof(block.transaction_trie, index_key(index))
+    result = rlp.encode([rlp.encode_int(number), rlp.encode_int(index), tx_hash])
+    return result, proof
+
+
+def _verify_send_raw_tx(call: RpcCall, response: PARPResponse,
+                        get_header: HeaderLookup) -> None:
+    raw_tx = call.param_bytes(0)
+    payload = _decode_triple(response.result, "sendRawTransaction result")
+    res_number, res_index, tx_hash = payload
+    if keccak256(raw_tx) != tx_hash:
+        raise QueryFraud("acknowledged hash is not the hash of the submitted tx")
+    if res_number == b"" and res_index == b"" and not response.proof:
+        return  # pending acknowledgement: nothing provable yet
+    number = rlp.decode_int(res_number)
+    index = rlp.decode_int(res_index)
+    header = get_header(number)
+    if header is None:
+        raise Unverifiable(f"no header for block {number}")
+    try:
+        proven = verify_proof(
+            header.transactions_root, index_key(index), list(response.proof)
+        )
+    except ProofError as exc:
+        raise QueryFraud(f"inclusion proof does not verify: {exc}") from exc
+    if proven != raw_tx:
+        raise QueryFraud("proof does not contain the submitted transaction")
+
+
+# --------------------------------------------------------------------------- #
+# eth_getTransactionReceipt
+# --------------------------------------------------------------------------- #
+
+def _execute_get_receipt(backend: ChainBackend, call: RpcCall,
+                         m_b: int) -> tuple[bytes, list[bytes]]:
+    from ..trie.proof import generate_proof
+
+    tx_hash = call.param_bytes(0, exact=32)
+    location = backend.find_transaction(tx_hash)
+    if location is None:
+        raise QueryError(f"unknown transaction {tx_hash.hex()}")
+    block, index = location
+    receipt = block.receipts[index]
+    tx_proof = generate_proof(block.transaction_trie, index_key(index))
+    receipt_proof = generate_proof(block.receipt_trie, index_key(index))
+    result = rlp.encode([
+        rlp.encode_int(block.number), rlp.encode_int(index), receipt.encode(),
+    ])
+    return result, tx_proof + receipt_proof
+
+
+def _verify_get_receipt(call: RpcCall, response: PARPResponse,
+                        get_header: HeaderLookup) -> None:
+    tx_hash = call.param_bytes(0, exact=32)
+    payload = _decode_triple(response.result, "receipt result")
+    res_number, res_index, receipt_bytes = payload
+    number = rlp.decode_int(res_number)
+    index = rlp.decode_int(res_index)
+    header = get_header(number)
+    if header is None:
+        raise Unverifiable(f"no header for block {number}")
+    proof = list(response.proof)
+    try:
+        proven_tx = verify_proof(header.transactions_root, index_key(index), proof)
+    except ProofError as exc:
+        raise QueryFraud(f"transaction proof does not verify: {exc}") from exc
+    if proven_tx is None or keccak256(proven_tx) != tx_hash:
+        raise QueryFraud("transaction at claimed index has a different hash")
+    try:
+        proven_receipt = verify_proof(header.receipts_root, index_key(index), proof)
+    except ProofError as exc:
+        raise QueryFraud(f"receipt proof does not verify: {exc}") from exc
+    if proven_receipt != receipt_bytes:
+        raise QueryFraud("returned receipt differs from proven receipt")
+
+
+def decode_inclusion(result: bytes) -> tuple[Optional[int], Optional[int], bytes]:
+    """Parse a send/tx/receipt result into (block_number, index, payload)."""
+    number_b, index_b, payload = _decode_triple(result, "inclusion result")
+    if number_b == b"" and index_b == b"":
+        return None, None, payload
+    return rlp.decode_int(number_b), rlp.decode_int(index_b), payload
+
+
+# --------------------------------------------------------------------------- #
+# Unverifiable queries
+# --------------------------------------------------------------------------- #
+
+def _execute_block_number(backend: ChainBackend, call: RpcCall,
+                          m_b: int) -> tuple[bytes, list[bytes]]:
+    return rlp.encode(rlp.encode_int(backend.head_number())), []
+
+
+def _execute_chain_id(backend: ChainBackend, call: RpcCall,
+                      m_b: int) -> tuple[bytes, list[bytes]]:
+    return rlp.encode(rlp.encode_int(backend.chain_id())), []
+
+
+def decode_int_result(result: bytes) -> int:
+    item = rlp.decode(result)
+    if not isinstance(item, bytes):
+        raise MessageError("expected an integer result payload")
+    return rlp.decode_int(item)
+
+
+# --------------------------------------------------------------------------- #
+# Catalog
+# --------------------------------------------------------------------------- #
+
+QUERY_CATALOG: dict[str, QuerySpec] = {
+    "eth_getBalance": QuerySpec(
+        "eth_getBalance", True, _execute_get_balance, _verify_get_balance),
+    "eth_getStorageAt": QuerySpec(
+        "eth_getStorageAt", True, _execute_get_storage, _verify_get_storage),
+    "eth_getTransactionByBlockNumberAndIndex": QuerySpec(
+        "eth_getTransactionByBlockNumberAndIndex", True,
+        _execute_get_tx_by_index, _verify_get_tx_by_index),
+    "eth_sendRawTransaction": QuerySpec(
+        "eth_sendRawTransaction", True, _execute_send_raw_tx, _verify_send_raw_tx),
+    "eth_getTransactionReceipt": QuerySpec(
+        "eth_getTransactionReceipt", True, _execute_get_receipt, _verify_get_receipt),
+    "eth_blockNumber": QuerySpec("eth_blockNumber", False, _execute_block_number),
+    "eth_chainId": QuerySpec("eth_chainId", False, _execute_chain_id),
+}
+
+
+def get_spec(method: str) -> QuerySpec:
+    spec = QUERY_CATALOG.get(method)
+    if spec is None:
+        raise QueryError(f"unsupported RPC method {method!r}")
+    return spec
+
+
+def is_verifiable(method: str) -> bool:
+    spec = QUERY_CATALOG.get(method)
+    return spec is not None and spec.verifiable
+
+
+def execute_query(backend: ChainBackend, call: RpcCall,
+                  m_b: int) -> tuple[bytes, list[bytes]]:
+    """Full-node side: produce (result, proof) for a call at height m_b."""
+    return get_spec(call.method).execute(backend, call, m_b)
+
+
+def verify_query_result(call: RpcCall, response: PARPResponse,
+                        get_header: HeaderLookup) -> None:
+    """Verifier side (light client *and* FDM): raise on provable fraud.
+
+    Raises :class:`QueryFraud` when the proof/result pair is provably wrong,
+    :class:`Unverifiable` when verification needs unavailable headers, and
+    returns silently for valid or inherently unverifiable responses.
+    """
+    spec = QUERY_CATALOG.get(call.method)
+    if spec is None or not spec.verifiable or spec.verify is None:
+        return
+    spec.verify(call, response, get_header)
+
+
+# --------------------------------------------------------------------------- #
+# small payload helpers
+# --------------------------------------------------------------------------- #
+
+def _decode_pair(raw: bytes, what: str) -> tuple[bytes, bytes]:
+    item = rlp.decode(raw)
+    if (not isinstance(item, list) or len(item) != 2
+            or not all(isinstance(x, bytes) for x in item)):
+        raise QueryFraud(f"malformed {what}")
+    return item[0], item[1]
+
+
+def _decode_triple(raw: bytes, what: str) -> tuple[bytes, bytes, bytes]:
+    try:
+        item = rlp.decode(raw)
+    except rlp.RLPError as exc:
+        raise QueryFraud(f"undecodable {what}: {exc}") from exc
+    if (not isinstance(item, list) or len(item) != 3
+            or not all(isinstance(x, bytes) for x in item)):
+        raise QueryFraud(f"malformed {what}")
+    return item[0], item[1], item[2]

@@ -1,0 +1,86 @@
+"""Reputation tracking — the §VIII Sybil-mitigation sketch.
+
+"Introducing a reputation system to validate the legitimacy of served light
+clients could be one solution to this issue."  We keep an exponentially
+decayed event ledger per address; scores in [0, 1] weigh Proof-of-Serving
+receipts and guide the client's full-node selection (prefer long-lived,
+never-slashed nodes; distrust freshly minted identities).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..crypto.keys import Address
+
+__all__ = ["ReputationEvent", "ReputationLedger"]
+
+# event weights (positive builds trust, negative destroys it)
+EVENT_WEIGHTS = {
+    "served_ok": 1.0,          # verified valid response
+    "channel_settled": 5.0,    # clean cooperative closure
+    "invalid_response": -10.0, # unverifiable garbage
+    "fraud_slashed": -1000.0,  # on-chain adjudicated fraud
+    "equivocation": -100.0,    # served conflicting headers
+    "timeout": -2.0,           # broke the synchrony bound
+}
+
+
+@dataclass(frozen=True)
+class ReputationEvent:
+    subject: Address
+    kind: str
+    time: float
+    weight: float
+
+
+@dataclass
+class ReputationLedger:
+    """Decayed additive reputation with a bounded [0, 1] score.
+
+    ``half_life`` (in the ledger's time unit) controls how fast history
+    fades; ``newcomer_score`` is what an unknown address gets — keeping it
+    low is the anti-Sybil lever (fresh identities start untrusted).
+    """
+
+    half_life: float = 86_400.0
+    newcomer_score: float = 0.1
+    saturation: float = 100.0    # raw score that maps to ~1.0
+    _events: dict[Address, list[ReputationEvent]] = field(default_factory=dict)
+
+    def record(self, subject: Address, kind: str, time: float,
+               weight: Optional[float] = None) -> None:
+        if weight is None:
+            if kind not in EVENT_WEIGHTS:
+                raise ValueError(f"unknown reputation event kind {kind!r}")
+            weight = EVENT_WEIGHTS[kind]
+        self._events.setdefault(subject, []).append(
+            ReputationEvent(subject, kind, time, weight)
+        )
+
+    def raw_score(self, subject: Address, now: float) -> float:
+        events = self._events.get(subject, [])
+        total = 0.0
+        for event in events:
+            age = max(0.0, now - event.time)
+            decay = 0.5 ** (age / self.half_life)
+            total += event.weight * decay
+        return total
+
+    def score(self, subject: Address, now: float) -> float:
+        """Normalized score in [0, 1]; unknown addresses get newcomer_score."""
+        if subject not in self._events:
+            return self.newcomer_score
+        raw = self.raw_score(subject, now)
+        if raw <= 0:
+            return 0.0
+        return min(1.0, raw / self.saturation)
+
+    def rank(self, candidates: list[Address], now: float) -> list[Address]:
+        """Order candidate full nodes by descending trust."""
+        return sorted(candidates, key=lambda a: self.score(a, now), reverse=True)
+
+    def is_banned(self, subject: Address, now: float) -> bool:
+        """Addresses with non-positive decayed score are avoided entirely."""
+        return subject in self._events and self.raw_score(subject, now) <= 0.0

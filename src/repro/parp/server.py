@@ -1,0 +1,296 @@
+"""The PARP full-node serving engine (server side of Fig. 5).
+
+Wraps a :class:`repro.node.fullnode.FullNode` with the PARP layers:
+
+* handshake consent and channel bootstrapping (Algorithm 1, FN side),
+* request verification — step (B): signatures, channel accounting, fees,
+* query execution + Merkle proof generation + response signing — step (C),
+* channel bookkeeping (retaining the latest redeemable payment proof),
+* free services the protocol grants: header serving (§IV-D) and relaying
+  of channel-management transactions (§IV-E.2 "mediated via the full node").
+
+A server refuses to serve until its operator has staked collateral in the
+Deposit Module — the availability condition of Fig. 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..chain.chain import ChainError
+from ..chain.header import BlockHeader
+from ..chain.receipt import LogEntry
+from ..chain.transaction import Transaction, TransactionError
+from ..contracts.addresses import CHANNELS_MODULE_ADDRESS, FRAUD_MODULE_ADDRESS
+from ..crypto import keccak256
+from ..crypto.keys import Address, PrivateKey
+from ..node.fullnode import FullNode
+from ..rlp import codec as rlp
+from .channel import ChannelError, ServerChannel
+from .constants import DEFAULT_HANDSHAKE_EXPIRY_SECONDS
+from .handshake import Handshake, HandshakeConfirm, OpenChannelReceipt
+from .messages import (
+    MessageError,
+    PARPRequest,
+    PARPResponse,
+    ResponseStatus,
+    RpcCall,
+)
+from .pricing import DEFAULT_FEE_SCHEDULE, FeeSchedule
+from .queries import QueryError, execute_query
+
+__all__ = ["ServeError", "ServerStats", "FullNodeServer"]
+
+_CHANNEL_OPENED_TOPIC = keccak256(b"ChannelOpened")
+
+
+class ServeError(Exception):
+    """Request rejected before a signed response could be produced.
+
+    The transport surfaces this as an *unsigned* error — the client
+    classifies it as INVALID and should fail over to another node.
+    """
+
+
+@dataclass
+class ServerStats:
+    """Serving counters (feeds Fig. 7 and the Proof-of-Serving extension)."""
+
+    handshakes: int = 0
+    channels_opened: int = 0
+    requests_served: int = 0
+    requests_rejected: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    fees_earned: int = 0
+
+
+class FullNodeServer:
+    """A PARP-compatible full node server."""
+
+    def __init__(self, node: FullNode,
+                 fee_schedule: FeeSchedule = DEFAULT_FEE_SCHEDULE,
+                 handshake_expiry: float = DEFAULT_HANDSHAKE_EXPIRY_SECONDS,
+                 clock=None) -> None:
+        self.node = node
+        self.key = node.key
+        self.fee_schedule = fee_schedule
+        self.handshake_expiry = handshake_expiry
+        self.channels: dict[bytes, ServerChannel] = {}
+        self.stats = ServerStats()
+        self._clock = clock  # callable returning seconds; defaults to chain time
+
+    @property
+    def address(self) -> Address:
+        return self.key.address
+
+    def _now(self) -> int:
+        if self._clock is not None:
+            return int(self._clock())
+        return self.node.chain.head.header.timestamp
+
+    # ------------------------------------------------------------------ #
+    # Connection setup (Algorithm 1, full-node side)
+    # ------------------------------------------------------------------ #
+
+    def handshake(self, msg: Handshake) -> HandshakeConfirm:
+        """Consent to serve a light client; the confirmation expires."""
+        self.stats.handshakes += 1
+        expiry = self._now() + int(self.handshake_expiry)
+        return HandshakeConfirm.build(self.key, msg.light_client, expiry)
+
+    def open_channel(self, raw_tx: bytes) -> OpenChannelReceipt:
+        """Relay the LC's OpenChannel transaction and acknowledge the channel.
+
+        The FN mediates this on-chain step (§IV-E.2): it submits the signed
+        transaction, waits for inclusion, extracts the assigned channel id
+        from the ``ChannelOpened`` event, registers the channel locally, and
+        returns the counter-signed receipt of Algorithm 1 line 17.
+        """
+        self.stats.bytes_in += len(raw_tx)
+        try:
+            tx = Transaction.decode(raw_tx)
+        except TransactionError as exc:
+            raise ServeError(f"undecodable OpenChannel transaction: {exc}") from exc
+        if tx.to != CHANNELS_MODULE_ADDRESS:
+            raise ServeError("OpenChannel must target the Channels module")
+        try:
+            tx_hash = self.node.submit_transaction(raw_tx)
+        except ChainError as exc:
+            raise ServeError(f"OpenChannel rejected by the chain: {exc}") from exc
+        location = self.node.ensure_mined(tx_hash)
+        if location is None:
+            raise ServeError("OpenChannel transaction was not included")
+        receipt = self.node.chain.get_receipt(tx_hash)
+        if receipt is None or not receipt.succeeded:
+            raise ServeError("OpenChannel transaction reverted")
+        event = self._find_channel_opened(receipt.logs, tx.sender)
+        if event is None:
+            raise ServeError("no ChannelOpened event for this transaction")
+        alpha, light_client, budget = event
+        self.channels[alpha] = ServerChannel(
+            alpha=alpha, light_client=light_client, budget=budget,
+        )
+        self.stats.channels_opened += 1
+        return OpenChannelReceipt.build(self.key, alpha)
+
+    def _find_channel_opened(self, logs: tuple[LogEntry, ...],
+                             sender: Address) -> Optional[tuple[bytes, Address, int]]:
+        for log in logs:
+            if not log.topics or log.topics[0] != _CHANNEL_OPENED_TOPIC:
+                continue
+            if len(log.topics) != 4:
+                continue
+            alpha = log.topics[1][-16:]
+            light_client = Address(log.topics[2][-20:])
+            full_node = Address(log.topics[3][-20:])
+            if full_node != self.address or light_client != sender:
+                continue
+            budget = int.from_bytes(log.data, "big")
+            return alpha, light_client, budget
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Free services (headers §IV-D, channel-management relay §IV-E)
+    # ------------------------------------------------------------------ #
+
+    def serve_header(self, number: int) -> Optional[BlockHeader]:
+        return self.node.serve_header(number)
+
+    def serve_head_number(self) -> int:
+        return self.node.serve_head_number()
+
+    def get_transaction_count(self, address: Address) -> int:
+        """Free bootstrap query: the LC's nonce for channel transactions."""
+        return self.node.chain.state.nonce_of(address)
+
+    def relay_transaction(self, raw_tx: bytes) -> bytes:
+        """Free relay, restricted to PARP channel/fraud management calls."""
+        try:
+            tx = Transaction.decode(raw_tx)
+        except TransactionError as exc:
+            raise ServeError(f"undecodable transaction: {exc}") from exc
+        if tx.to not in (CHANNELS_MODULE_ADDRESS, FRAUD_MODULE_ADDRESS):
+            raise ServeError(
+                "free relay is limited to channel and fraud management; "
+                "use a paid eth_sendRawTransaction for other transactions"
+            )
+        tx_hash = self.node.submit_transaction(raw_tx)
+        self.node.ensure_mined(tx_hash)
+        return tx_hash
+
+    # ------------------------------------------------------------------ #
+    # The paid request path (steps (B) and (C) of Fig. 5)
+    # ------------------------------------------------------------------ #
+
+    def serve_request(self, wire: bytes) -> bytes:
+        """Verify, execute, prove, and sign one PARP request."""
+        self.stats.bytes_in += len(wire)
+        request = self._verify_request(wire)           # step (B)
+        response = self._execute_and_sign(request)     # step (C)
+        out = response.encode_wire()
+        self.stats.bytes_out += len(out)
+        self.stats.requests_served += 1
+        return out
+
+    def _verify_request(self, wire: bytes) -> PARPRequest:
+        try:
+            request = PARPRequest.decode_wire(wire)
+        except MessageError as exc:
+            self.stats.requests_rejected += 1
+            raise ServeError(f"undecodable request: {exc}") from exc
+        channel = self.channels.get(request.alpha)
+        if channel is None:
+            self.stats.requests_rejected += 1
+            raise ServeError(f"unknown channel {request.alpha.hex()}")
+        try:
+            request.verify(expected_sender=channel.light_client)
+        except MessageError as exc:
+            self.stats.requests_rejected += 1
+            raise ServeError(f"request verification failed: {exc}") from exc
+        price = self.fee_schedule.price(request.call)
+        previous = channel.latest_amount
+        try:
+            channel.accept_request_payment(request, min_increment=price)
+        except ChannelError as exc:
+            self.stats.requests_rejected += 1
+            raise ServeError(f"payment rejected: {exc}") from exc
+        self.stats.fees_earned += channel.latest_amount - previous
+        return request
+
+    def _execute_and_sign(self, request: PARPRequest) -> PARPResponse:
+        call = request.call
+        # The client's pinned block must be on our chain (same network).
+        pinned = self.node.chain.get_block_by_hash(request.h_b)
+        if pinned is None:
+            return self._error_response(
+                request, f"unknown reference block {request.h_b.hex()[:16]}"
+            )
+        if call.method == "parp_channelStatus":
+            result, proof = self._channel_status(call)
+        else:
+            try:
+                m_b = self.node.head_number()
+                result, proof = execute_query(self.node, call, m_b)
+            except QueryError as exc:
+                return self._error_response(request, str(exc))
+        m_b = self.node.head_number()  # sends advance the head to inclusion
+        return PARPResponse.build(
+            alpha=request.alpha, request=request, m_b=m_b,
+            result=result, proof=proof, key=self.key,
+        )
+
+    def _channel_status(self, call: RpcCall) -> tuple[bytes, list[bytes]]:
+        """Cheap, unverified channel-status probe from local records."""
+        alpha = call.param_bytes(0, exact=16)
+        channel = self.channels.get(alpha)
+        if channel is None:
+            status = 0
+        elif channel.closed:
+            status = 3
+        else:
+            status = 1
+        return rlp.encode(rlp.encode_int(status)), []
+
+    def _error_response(self, request: PARPRequest, message: str) -> PARPResponse:
+        """A *signed* error: the client paid for the attempt and gets an
+        attributable outcome (it cannot be forged by a third party)."""
+        result = rlp.encode([b"error", message.encode("utf-8")])
+        return PARPResponse.build(
+            alpha=request.alpha, request=request, m_b=self.node.head_number(),
+            result=result, proof=[], key=self.key, status=ResponseStatus.ERROR,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Redemption / closure (FN-initiated, §IV-E.4)
+    # ------------------------------------------------------------------ #
+
+    def build_close_transaction(self, alpha: bytes, nonce: int,
+                                gas_price: int = 12 * 10 ** 9,
+                                gas_limit: int = 300_000) -> Transaction:
+        """Build the FN's CloseChannel transaction with the latest payment
+        proof — this is how the node redeems its earnings."""
+        from ..chain.transaction import UnsignedTransaction
+        from ..vm.abi import encode_call
+
+        channel = self.channels.get(alpha)
+        if channel is None:
+            raise ServeError(f"unknown channel {alpha.hex()}")
+        alpha_b, amount, sig = channel.redeemable_state()
+        return UnsignedTransaction(
+            nonce=nonce, gas_price=gas_price, gas_limit=gas_limit,
+            to=CHANNELS_MODULE_ADDRESS, value=0,
+            data=encode_call("close_channel", [alpha_b, amount, sig]),
+        ).sign(self.key)
+
+    def mark_closed(self, alpha: bytes) -> None:
+        channel = self.channels.get(alpha)
+        if channel is not None:
+            channel.closed = True
+
+    def __repr__(self) -> str:
+        return (
+            f"FullNodeServer(addr={self.address.hex()[:10]}…, "
+            f"channels={len(self.channels)}, served={self.stats.requests_served})"
+        )

@@ -1,0 +1,123 @@
+"""Light-client response verification — the six checks of §V-D.
+
+The checks run in a strict order that mirrors the paper's rationale:
+failures that would leave the client *unable to build a fraud proof* come
+first and classify the response as INVALID (walk away, don't pay more);
+only once the response is provably attributable to the full node do the
+remaining checks classify failures as FRAUD (slashing evidence):
+
+1. **Verify Request Hash** — the response must echo ``h_req``/``σ_req`` of
+   our request; otherwise it is not linkable to what we asked (INVALID).
+2. **Verify Response Signature** — ``σ_res`` must recover to the channel's
+   full node over ``h_res`` computed with *our* channel id α; otherwise the
+   response proves nothing (INVALID).
+3. **Channel Identifier Check** — α is bound inside ``h_res``; a response
+   signed for another channel fails check 2 (kept as an explicit step for
+   fraud-blob submissions where α travels with the message) (INVALID).
+4. **Payment Amount Check** — ``res.a`` must equal the signed ``req.a``;
+   a mismatch is attributable and provable (FRAUD).
+5. **Timestamp Check** — ``res.m_B`` must be at least the height of the
+   block the request pinned via ``h_B``; staler is FRAUD.
+6. **Verify Merkle Proof** — π_γ must authenticate R(γ) against the header
+   roots at the relevant height; failure is FRAUD.  A header the client
+   cannot obtain makes the response unverifiable (INVALID).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..crypto.keys import Address
+from .messages import MessageError, PARPRequest, PARPResponse, ResponseStatus
+from .queries import HeaderLookup, QueryFraud, Unverifiable, verify_query_result
+from .states import ResponseClass
+
+__all__ = ["VerificationReport", "classify_response"]
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Outcome of classifying one response."""
+
+    classification: ResponseClass
+    check: str               # which §V-D check decided the outcome
+    detail: str = ""
+    is_error_response: bool = False
+
+    @property
+    def valid(self) -> bool:
+        return self.classification is ResponseClass.VALID
+
+    @property
+    def fraudulent(self) -> bool:
+        return self.classification is ResponseClass.FRAUD
+
+
+def classify_response(request: PARPRequest, response: PARPResponse,
+                      alpha: bytes, full_node: Address,
+                      request_height: int,
+                      get_header: HeaderLookup) -> VerificationReport:
+    """Run the §V-D checks; never raises, always returns a report.
+
+    ``request_height`` is the height of the block whose hash the client put
+    in ``req.h_B`` (the client always knows it — it chose the hash from its
+    own header chain).
+    """
+    # 1. Verify Request Hash ------------------------------------------------ #
+    if response.h_req != request.h_req:
+        return VerificationReport(
+            ResponseClass.INVALID, "request-hash",
+            "response echoes a different request hash",
+        )
+    if response.sig_req != request.sig_req:
+        return VerificationReport(
+            ResponseClass.INVALID, "request-hash",
+            "response echoes a different request signature",
+        )
+
+    # 2./3. Verify Response Signature (α-bound) ------------------------------- #
+    try:
+        signer = response.signer(alpha)
+    except MessageError as exc:
+        return VerificationReport(
+            ResponseClass.INVALID, "response-signature", str(exc),
+        )
+    if signer != full_node:
+        return VerificationReport(
+            ResponseClass.INVALID, "response-signature",
+            f"signed by {signer.hex()}, expected {full_node.hex()}",
+        )
+
+    # 4. Payment Amount Check -------------------------------------------------- #
+    if response.a != request.a:
+        return VerificationReport(
+            ResponseClass.FRAUD, "payment-amount",
+            f"request committed {request.a}, response claims {response.a}",
+        )
+
+    # 5. Timestamp Check --------------------------------------------------------- #
+    if response.m_b < request_height:
+        return VerificationReport(
+            ResponseClass.FRAUD, "timestamp",
+            f"response height {response.m_b} < request height {request_height}",
+        )
+
+    # Signed error responses carry no verifiable payload.
+    if response.status != ResponseStatus.OK:
+        return VerificationReport(
+            ResponseClass.VALID, "error-response",
+            "full node signed an error outcome", is_error_response=True,
+        )
+
+    # 6. Verify Merkle Proof -------------------------------------------------------- #
+    try:
+        verify_query_result(request.call, response, get_header)
+    except QueryFraud as exc:
+        return VerificationReport(ResponseClass.FRAUD, "merkle-proof", str(exc))
+    except Unverifiable as exc:
+        return VerificationReport(ResponseClass.INVALID, "merkle-proof", str(exc))
+    except MessageError as exc:
+        return VerificationReport(ResponseClass.INVALID, "merkle-proof", str(exc))
+
+    return VerificationReport(ResponseClass.VALID, "all-checks")

@@ -1,0 +1,35 @@
+"""Base JSON-RPC layer: the permissionless, unaccountable serving baseline."""
+
+from .api import EthereumAPI
+from .client import RpcClient
+from .jsonrpc import (
+    JsonRpcError,
+    RpcRequest,
+    RpcResponse,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+    from_hex_data,
+    from_quantity,
+    to_hex_data,
+    to_quantity,
+)
+from .server import RpcServer
+
+__all__ = [
+    "EthereumAPI",
+    "RpcClient",
+    "RpcServer",
+    "JsonRpcError",
+    "RpcRequest",
+    "RpcResponse",
+    "encode_request",
+    "decode_request",
+    "encode_response",
+    "decode_response",
+    "to_quantity",
+    "from_quantity",
+    "to_hex_data",
+    "from_hex_data",
+]

@@ -1,0 +1,45 @@
+"""JSON-RPC client over a pluggable byte transport."""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Any, Callable
+
+from .jsonrpc import (
+    JsonRpcError,
+    RpcRequest,
+    decode_response,
+    encode_request,
+)
+
+__all__ = ["RpcClient"]
+
+
+class RpcClient:
+    """Issues JSON-RPC calls through ``transport: bytes -> bytes``.
+
+    The transport can be an in-process :class:`~repro.rpc.server.RpcServer`
+    (``server.handle_raw``) or a simulated-network channel.
+    """
+
+    def __init__(self, transport: Callable[[bytes], bytes]) -> None:
+        self._transport = transport
+        self._ids = count(1)
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    def call(self, method: str, *params: Any) -> Any:
+        """One RPC round-trip; raises :class:`JsonRpcError` on error results."""
+        request = RpcRequest(method=method, params=params, id=next(self._ids))
+        raw = encode_request(request)
+        self.bytes_sent += len(raw)
+        raw_response = self._transport(raw)
+        self.bytes_received += len(raw_response)
+        response = decode_response(raw_response)
+        if response.id != request.id:
+            raise JsonRpcError(-32603, "response id does not match request id")
+        return response.raise_for_error()
+
+    def request_size(self, method: str, *params: Any) -> int:
+        """Size in bytes of the encoded request (Table II baseline numbers)."""
+        return len(encode_request(RpcRequest(method=method, params=params, id=1)))

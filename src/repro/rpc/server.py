@@ -1,0 +1,78 @@
+"""JSON-RPC server shell: bytes in, bytes out, batch support."""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..node.fullnode import FullNode
+from .api import EthereumAPI
+from .jsonrpc import (
+    INVALID_REQUEST,
+    JsonRpcError,
+    RpcRequest,
+    RpcResponse,
+    decode_request,
+    encode_response,
+)
+
+__all__ = ["RpcServer"]
+
+
+class RpcServer:
+    """Dispatches raw JSON-RPC payloads against a full node's API.
+
+    This is the plain, permissionless endpoint of §II-D: no authentication,
+    no payment, no verifiability — the baseline PARP augments.
+    """
+
+    def __init__(self, node: FullNode) -> None:
+        self.node = node
+        self.api = EthereumAPI(node)
+        self.requests_handled = 0
+        self.bytes_in = 0
+        self.bytes_out = 0
+
+    def handle_raw(self, raw: bytes) -> bytes:
+        """Handle a single request or a batch; always returns bytes."""
+        self.bytes_in += len(raw)
+        try:
+            obj = json.loads(raw)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            out = encode_response(RpcResponse(
+                id=None,
+                error=JsonRpcError(-32700, "parse error").to_object(),
+            ))
+            self.bytes_out += len(out)
+            return out
+        if isinstance(obj, list):
+            responses = [self._handle_object(item) for item in obj]
+            out = json.dumps(
+                [r.to_object() for r in responses], separators=(",", ":"),
+            ).encode("utf-8")
+        else:
+            out = encode_response(self._handle_object(obj))
+        self.bytes_out += len(out)
+        return out
+
+    def handle(self, request: RpcRequest) -> RpcResponse:
+        """Handle an already-decoded request."""
+        self.requests_handled += 1
+        try:
+            result = self.api.dispatch(request.method, request.params)
+            return RpcResponse(id=request.id, result=result)
+        except JsonRpcError as exc:
+            return RpcResponse(id=request.id, error=exc.to_object())
+
+    def _handle_object(self, obj: Any) -> RpcResponse:
+        try:
+            raw = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+            request = decode_request(raw)
+        except JsonRpcError as exc:
+            return RpcResponse(id=None, error=exc.to_object())
+        except (TypeError, ValueError):
+            return RpcResponse(
+                id=None,
+                error=JsonRpcError(INVALID_REQUEST, "invalid request").to_object(),
+            )
+        return self.handle(request)

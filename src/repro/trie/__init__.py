@@ -1,0 +1,19 @@
+"""Merkle Patricia Trie substrate: authenticated storage + Merkle proofs."""
+
+from .mpt import EMPTY_TRIE_ROOT, MerklePatriciaTrie, TrieError
+from .nibbles import bytes_to_nibbles, hp_decode, hp_encode, nibbles_to_bytes
+from .proof import ProofError, generate_proof, proof_size, verify_proof
+
+__all__ = [
+    "MerklePatriciaTrie",
+    "EMPTY_TRIE_ROOT",
+    "TrieError",
+    "generate_proof",
+    "verify_proof",
+    "proof_size",
+    "ProofError",
+    "bytes_to_nibbles",
+    "nibbles_to_bytes",
+    "hp_encode",
+    "hp_decode",
+]

@@ -1,0 +1,134 @@
+"""Merkle proofs of (non-)inclusion for the Merkle Patricia Trie.
+
+A proof for key ``k`` is the ordered list of RLP-encoded trie nodes on the
+path from the root to ``k``'s leaf (or to the point where the path provably
+diverges).  A verifier that only knows the 32-byte root — a PARP light client
+holding a block header, or the on-chain Fraud Detection Module — can check
+the proof without any other state:  each node must hash (keccak256) to the
+reference held by its parent, and the first node must hash to the root.
+
+This is exactly the ``π_γ`` field of a PARP response (paper Fig. 3) and the
+object whose size Figure 6 sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..crypto.keccak import keccak256
+from ..rlp import codec as rlp
+from .mpt import EMPTY_TRIE_ROOT, MerklePatriciaTrie, TrieError
+from .nibbles import bytes_to_nibbles, hp_decode
+
+__all__ = ["ProofError", "generate_proof", "verify_proof", "proof_size"]
+
+_BLANK = b""
+
+
+class ProofError(Exception):
+    """Raised when a Merkle proof is malformed or inconsistent with the root."""
+
+
+def generate_proof(trie: MerklePatriciaTrie, key: bytes) -> list[bytes]:
+    """Collect the hash-referenced nodes on the path of ``key``.
+
+    Works for both present keys (inclusion) and absent keys (exclusion: the
+    proof shows the path dead-ends).  Inlined sub-32-byte nodes are embedded
+    in their parents' encodings and therefore not listed separately.
+    """
+    proof: list[bytes] = []
+    if trie.root_hash == EMPTY_TRIE_ROOT:
+        return proof
+    path = bytes_to_nibbles(key)
+    ref: rlp.Item = trie.root_hash
+    while True:
+        if isinstance(ref, bytes):
+            if ref == _BLANK:
+                return proof
+            encoded = trie.db.get(ref)
+            if encoded is None:
+                raise TrieError(f"missing trie node {ref.hex()} during proving")
+            proof.append(encoded)
+            node = rlp.decode(encoded)
+        else:
+            node = ref  # inline node: already part of the parent's encoding
+        if len(node) == 17:
+            if not path:
+                return proof
+            ref = node[path[0]]
+            path = path[1:]
+            continue
+        node_path, is_leaf = hp_decode(node[0])
+        if is_leaf:
+            return proof
+        if path[: len(node_path)] != node_path:
+            return proof
+        ref = node[1]
+        path = path[len(node_path):]
+
+
+def verify_proof(root_hash: bytes, key: bytes, proof: list[bytes]) -> Optional[bytes]:
+    """Verify ``proof`` against ``root_hash`` for ``key``.
+
+    Returns the proven value for an inclusion proof, or ``None`` for a valid
+    exclusion proof.  Raises :class:`ProofError` when the proof does not
+    authenticate against the root — for PARP this is the *fraud* signal of
+    the "Verify Merkle Proof" check (§V-D).
+    """
+    if root_hash == EMPTY_TRIE_ROOT:
+        if proof:
+            raise ProofError("non-empty proof against the empty trie root")
+        return None
+    nodes_by_hash = {keccak256(encoded): encoded for encoded in proof}
+    path = bytes_to_nibbles(key)
+    ref: rlp.Item = root_hash
+    while True:
+        node = _resolve_ref(ref, nodes_by_hash)
+        if node is None:  # blank child: key proven absent
+            return None
+        if len(node) == 17:
+            if not path:
+                value = node[16]
+                return value if value != _BLANK else None
+            ref = node[path[0]]
+            path = path[1:]
+            continue
+        if len(node) != 2:
+            raise ProofError("malformed trie node in proof")
+        node_path, is_leaf = hp_decode(node[0])
+        if is_leaf:
+            if node_path == path:
+                value = node[1]
+                if not isinstance(value, bytes):
+                    raise ProofError("leaf value is not a byte string")
+                return value
+            return None  # path diverges at the leaf: exclusion
+        if path[: len(node_path)] != node_path:
+            return None  # extension mismatch: exclusion
+        ref = node[1]
+        path = path[len(node_path):]
+
+
+def _resolve_ref(ref: rlp.Item, nodes_by_hash: dict[bytes, bytes]) -> Optional[rlp.Item]:
+    """Resolve a child reference using only proof-supplied, hash-checked nodes."""
+    if isinstance(ref, list):
+        return ref  # inline node, authenticated by its parent's hash
+    if ref == _BLANK:
+        return None
+    if len(ref) != 32:
+        raise ProofError(f"invalid node reference of {len(ref)} bytes")
+    encoded = nodes_by_hash.get(ref)
+    if encoded is None:
+        raise ProofError(f"proof is missing node {ref.hex()}")
+    try:
+        node = rlp.decode(encoded)
+    except rlp.RLPError as exc:
+        raise ProofError(f"undecodable proof node: {exc}") from exc
+    if not isinstance(node, list) or len(node) not in (2, 17):
+        raise ProofError("malformed trie node in proof")
+    return node
+
+
+def proof_size(proof: list[bytes]) -> int:
+    """Total byte size of a proof — the quantity plotted in Figure 6."""
+    return sum(len(node) for node in proof)

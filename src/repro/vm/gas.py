@@ -1,0 +1,95 @@
+"""EVM-style gas schedule.
+
+The paper's on-chain modules are Solidity contracts; ours are native Python
+contracts executed by :mod:`repro.vm.runtime`.  To reproduce Table IV's gas
+costs *mechanically*, every state access, hash, signature recovery, log, and
+byte of calldata is metered with the constants Ethereum actually uses
+(EIP-150/2028/2929/3529 values).  ``EXECUTION_BYTE_GAS`` is the one
+calibration constant: it stands in for Solidity's per-byte execution overhead
+(ABI decoding, memory expansion, bounds checks) that a native runtime does
+not otherwise pay; DESIGN.md §6 documents this substitution.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TX_BASE_GAS",
+    "CALLDATA_ZERO_GAS",
+    "CALLDATA_NONZERO_GAS",
+    "SLOAD_COLD_GAS",
+    "WARM_ACCESS_GAS",
+    "SSTORE_SET_GAS",
+    "SSTORE_RESET_GAS",
+    "SSTORE_CLEAR_REFUND",
+    "COLD_ACCOUNT_ACCESS_GAS",
+    "CALL_VALUE_GAS",
+    "NEW_ACCOUNT_GAS",
+    "ECRECOVER_GAS",
+    "KECCAK_BASE_GAS",
+    "KECCAK_WORD_GAS",
+    "LOG_BASE_GAS",
+    "LOG_TOPIC_GAS",
+    "LOG_DATA_BYTE_GAS",
+    "EXECUTION_BYTE_GAS",
+    "RLP_DECODE_BYTE_GAS",
+    "PROOF_VERIFY_BYTE_GAS",
+    "MAX_REFUND_QUOTIENT",
+    "calldata_gas",
+    "keccak_gas",
+]
+
+# -- transaction-level -------------------------------------------------- #
+TX_BASE_GAS = 21_000
+CALLDATA_ZERO_GAS = 4        # EIP-2028
+CALLDATA_NONZERO_GAS = 16    # EIP-2028
+
+# -- storage (EIP-2929 warm/cold + EIP-3529 refunds) --------------------- #
+SLOAD_COLD_GAS = 2_100
+WARM_ACCESS_GAS = 100
+SSTORE_SET_GAS = 20_000      # zero -> non-zero
+SSTORE_RESET_GAS = 2_900     # non-zero -> different non-zero (or -> zero)
+SSTORE_CLEAR_REFUND = 4_800  # EIP-3529 value for clearing a slot
+COLD_ACCOUNT_ACCESS_GAS = 2_600
+
+# -- calls and account creation ------------------------------------------ #
+CALL_VALUE_GAS = 9_000
+NEW_ACCOUNT_GAS = 25_000
+
+# -- precompiles / builtins ----------------------------------------------- #
+ECRECOVER_GAS = 3_000
+KECCAK_BASE_GAS = 30
+KECCAK_WORD_GAS = 6
+
+# -- logging --------------------------------------------------------------- #
+LOG_BASE_GAS = 375
+LOG_TOPIC_GAS = 375
+LOG_DATA_BYTE_GAS = 8
+
+# -- native-runtime calibration ------------------------------------------- #
+# Charged per byte of calldata consumed by contract-side decoding.  Stands in
+# for Solidity ABI-decoding/memory/copy costs; see DESIGN.md §6.
+EXECUTION_BYTE_GAS = 14
+# Charged per byte a contract RLP-decodes (Solidity RLP readers cost tens of
+# gas per byte in memory/loop overhead that a native runtime skips).
+RLP_DECODE_BYTE_GAS = 60
+# Charged per byte of a Merkle proof verified in-contract (Solidity MPT
+# verifiers: nibble iteration, memory expansion, per-node keccak staging).
+# Both constants are calibrated once against Table IV's fraud-proof figure
+# for the reference workload (tx proof in a 200-tx block) — see DESIGN.md §6;
+# the *scaling* with evidence size is mechanical.
+PROOF_VERIFY_BYTE_GAS = 480
+
+# EIP-3529: at most 1/5 of gas used may be returned via refunds.
+MAX_REFUND_QUOTIENT = 5
+
+
+def calldata_gas(data: bytes) -> int:
+    """Intrinsic per-byte calldata cost (4 per zero byte, 16 per non-zero)."""
+    zeros = data.count(0)
+    return zeros * CALLDATA_ZERO_GAS + (len(data) - zeros) * CALLDATA_NONZERO_GAS
+
+
+def keccak_gas(num_bytes: int) -> int:
+    """Cost of hashing ``num_bytes`` with the keccak builtin."""
+    words = (num_bytes + 31) // 32
+    return KECCAK_BASE_GAS + KECCAK_WORD_GAS * words

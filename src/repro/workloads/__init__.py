@@ -1,0 +1,18 @@
+"""Workload generators: read/write traffic and the synthetic dApp dataset."""
+
+from .accounts import AccountSet, ZipfSelector
+from .dapp_traffic import PUBLISHED_SHARES, RpcCallRecord, generate_dataset
+from .read import ReadWorkload, ReadWorkloadResult
+from .write import WriteWorkload, build_block_with_size
+
+__all__ = [
+    "AccountSet",
+    "ZipfSelector",
+    "ReadWorkload",
+    "ReadWorkloadResult",
+    "WriteWorkload",
+    "build_block_with_size",
+    "RpcCallRecord",
+    "generate_dataset",
+    "PUBLISHED_SHARES",
+]

@@ -1,0 +1,124 @@
+"""Synthetic dApp → node-provider traffic dataset (Table I substitute).
+
+The paper analyzes the Torres et al. (USENIX Security '23) web-traffic
+dataset: of 1572 dApps, 383 issue JSON-RPC calls straight from their
+frontend to node providers; mapping those calls to providers yields the
+traffic shares of Table I (Infura 47.52%, Alchemy 31.07%, Binance 12.01%,
+Ankr 9.4%, Cloudflare 6.79%, …).
+
+We cannot ship the Zenodo dataset, so this module *synthesizes* a record set
+with the same schema (dApp id, provider, endpoint URL, call count) whose
+aggregate marginals match the published numbers; the analysis pipeline in
+:mod:`repro.analysis.traffic` then runs unchanged on either real or
+synthetic records.  A dApp may connect to several providers, exactly like
+the paper notes ("a single dApp can connect to multiple providers").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = [
+    "PUBLISHED_SHARES",
+    "TOTAL_RPC_DAPPS",
+    "TOTAL_DATASET_DAPPS",
+    "RpcCallRecord",
+    "generate_dataset",
+]
+
+#: Provider shares published in Table I: provider -> (dApps connecting, share).
+PUBLISHED_SHARES: dict[str, tuple[int, float]] = {
+    "infura": (182, 0.4752),
+    "alchemy": (119, 0.3107),
+    "binance": (46, 0.1201),
+    "ankr": (36, 0.0940),
+    "cloudflare": (26, 0.0679),
+    "quicknode": (16, 0.0418),
+    "chainstack": (5, 0.0131),
+}
+
+#: dApps that send JSON-RPC calls directly from their frontend.
+TOTAL_RPC_DAPPS = 383
+#: all dApps in the Torres et al. crawl.
+TOTAL_DATASET_DAPPS = 1572
+
+_PROVIDER_HOSTS = {
+    "infura": "mainnet.infura.io",
+    "alchemy": "eth-mainnet.g.alchemy.com",
+    "binance": "bsc-dataseed.binance.org",
+    "ankr": "rpc.ankr.com",
+    "cloudflare": "cloudflare-eth.com",
+    "quicknode": "solitary-little-glitter.quiknode.pro",
+    "chainstack": "nd-123-456-789.p2pify.com",
+}
+
+_COMMON_METHODS = (
+    "eth_call", "eth_getBalance", "eth_blockNumber", "eth_chainId",
+    "eth_getLogs", "eth_estimateGas", "eth_gasPrice", "eth_sendRawTransaction",
+)
+
+
+@dataclass(frozen=True)
+class RpcCallRecord:
+    """One observed frontend JSON-RPC flow: a dApp talking to a provider."""
+
+    dapp_id: int
+    provider: str
+    endpoint_host: str
+    method: str
+    call_count: int
+
+
+def generate_dataset(seed: int = 42) -> list[RpcCallRecord]:
+    """Synthesize records whose per-provider dApp counts equal Table I's.
+
+    Each provider ``p`` must end up with exactly ``PUBLISHED_SHARES[p][0]``
+    distinct dApps.  dApps are assigned greedily with overlap (multi-provider
+    dApps), mirroring how 430 connections fold into 383 dApps.
+    """
+    rng = random.Random(seed)
+    connection_counts = {p: n for p, (n, _) in PUBLISHED_SHARES.items()}
+    providers = list(connection_counts)
+
+    # Assign each provider a set of dApp ids from the 383-dApp pool such that
+    # every dApp gets at least one provider and counts match exactly.
+    dapp_ids = list(range(TOTAL_RPC_DAPPS))
+    assignments: dict[str, set[int]] = {p: set() for p in providers}
+
+    # Pass 1: guarantee coverage — every dApp connects to one provider,
+    # drawn proportionally to the remaining quota.
+    quotas = dict(connection_counts)
+    shuffled = dapp_ids[:]
+    rng.shuffle(shuffled)
+    for dapp in shuffled:
+        open_providers = [p for p in providers if quotas[p] > len(assignments[p])]
+        if not open_providers:
+            open_providers = providers
+        weights = [quotas[p] - len(assignments[p]) + 1e-9 for p in open_providers]
+        choice = rng.choices(open_providers, weights=weights)[0]
+        assignments[choice].add(dapp)
+
+    # Pass 2: fill each provider's remaining quota with extra (multi-homed)
+    # dApps that are not yet connected to it.
+    for provider in providers:
+        missing = connection_counts[provider] - len(assignments[provider])
+        candidates = [d for d in dapp_ids if d not in assignments[provider]]
+        rng.shuffle(candidates)
+        for dapp in candidates[:max(0, missing)]:
+            assignments[provider].add(dapp)
+
+    records: list[RpcCallRecord] = []
+    for provider, dapps in assignments.items():
+        host = _PROVIDER_HOSTS[provider]
+        for dapp in sorted(dapps):
+            method = rng.choice(_COMMON_METHODS)
+            records.append(RpcCallRecord(
+                dapp_id=dapp,
+                provider=provider,
+                endpoint_host=host,
+                method=method,
+                call_count=rng.randint(1, 500),
+            ))
+    rng.shuffle(records)
+    return records

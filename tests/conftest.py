@@ -1,0 +1,95 @@
+"""Shared fixtures: funded devnets, PARP environments, key material.
+
+Key naming convention across the suite: ``fn`` = full node operator,
+``lc`` = light client, ``wn`` = witness node, ``alice``/``bob`` = end-user
+accounts the workloads touch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.chain import GenesisConfig
+from repro.contracts import DEPOSIT_MODULE_ADDRESS
+from repro.crypto import PrivateKey
+from repro.lightclient import HeaderSyncer
+from repro.node import Devnet, FullNode
+from repro.parp import (
+    FullNodeServer,
+    LightClientSession,
+    MIN_FULL_NODE_DEPOSIT,
+    WitnessService,
+)
+
+TOKEN = 10 ** 18
+
+
+@dataclass
+class Keys:
+    """The cast of characters used by most scenarios."""
+
+    fn: PrivateKey = field(default_factory=lambda: PrivateKey.from_seed("keys:fn"))
+    lc: PrivateKey = field(default_factory=lambda: PrivateKey.from_seed("keys:lc"))
+    wn: PrivateKey = field(default_factory=lambda: PrivateKey.from_seed("keys:wn"))
+    alice: PrivateKey = field(default_factory=lambda: PrivateKey.from_seed("keys:alice"))
+    bob: PrivateKey = field(default_factory=lambda: PrivateKey.from_seed("keys:bob"))
+
+
+@pytest.fixture
+def keys() -> Keys:
+    return Keys()
+
+
+@pytest.fixture
+def devnet(keys: Keys) -> Devnet:
+    """A devnet with everyone funded."""
+    return Devnet(GenesisConfig(allocations={
+        keys.fn.address: 100 * TOKEN,
+        keys.lc.address: 100 * TOKEN,
+        keys.wn.address: 100 * TOKEN,
+        keys.alice.address: 5 * TOKEN,
+        keys.bob.address: 3 * TOKEN,
+    }))
+
+
+@dataclass
+class ParpEnv:
+    """A staked full node + bonded light client, ready for requests."""
+
+    net: Devnet
+    keys: Keys
+    node: FullNode
+    server: FullNodeServer
+    witness_node: FullNode
+    witness: WitnessService
+    syncer: HeaderSyncer
+    session: LightClientSession
+    alpha: bytes
+
+
+def make_parp_env(devnet: Devnet, keys: Keys, server_cls=FullNodeServer,
+                  budget: int = 10 ** 15, connect: bool = True,
+                  history_blocks: int = 2, **server_kwargs) -> ParpEnv:
+    """Assemble the standard scenario; server_cls may be the adversary."""
+    devnet.execute(keys.fn, DEPOSIT_MODULE_ADDRESS, "deposit",
+                   value=MIN_FULL_NODE_DEPOSIT)
+    devnet.advance_blocks(history_blocks)
+    node = FullNode(devnet.chain, key=keys.fn, name="fn")
+    server = server_cls(node, **server_kwargs)
+    witness_node = FullNode(devnet.chain, key=keys.wn, name="wn")
+    witness = WitnessService(witness_node)
+    syncer = HeaderSyncer([server, witness_node])
+    session = LightClientSession(keys.lc, server, syncer)
+    alpha = session.connect(budget=budget) if connect else b""
+    return ParpEnv(
+        net=devnet, keys=keys, node=node, server=server,
+        witness_node=witness_node, witness=witness,
+        syncer=syncer, session=session, alpha=alpha,
+    )
+
+
+@pytest.fixture
+def parp_env(devnet: Devnet, keys: Keys) -> ParpEnv:
+    return make_parp_env(devnet, keys)

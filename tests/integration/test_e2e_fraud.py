@@ -1,0 +1,137 @@
+"""End-to-end accountability: detection → witness → on-chain slash.
+
+This is the paper's central security claim, exercised attack by attack:
+attributable lies are detected as FRAUD, packaged, submitted by a witness,
+and punished by confiscating the offender's collateral; non-attributable
+garbage is INVALID and explicitly *not* slashable.
+"""
+
+import pytest
+
+from repro.contracts import (
+    CHANNELS_MODULE_ADDRESS,
+    DEPOSIT_MODULE_ADDRESS,
+    TREASURY_ADDRESS,
+)
+from repro.parp import FraudDetected, InvalidResponse, MIN_FULL_NODE_DEPOSIT
+from repro.parp.adversary import ATTACKS, MaliciousFullNodeServer
+from repro.parp.fraudproof import FraudProofError
+
+from ..conftest import make_parp_env
+
+FRAUD_ATTACKS = {
+    "inflate_balance": "merkle-proof",
+    "bogus_proof": "merkle-proof",
+    "overcharge": "payment-amount",
+    "stale_height": "timestamp",
+}
+INVALID_ATTACKS = {
+    "wrong_signature": "response-signature",
+    "wrong_request_hash": "request-hash",
+    "wrong_channel": "response-signature",
+}
+
+
+def evil_env(devnet, keys, attack):
+    return make_parp_env(devnet, keys, server_cls=MaliciousFullNodeServer,
+                         attack=attack)
+
+
+class TestFraudPipeline:
+    @pytest.mark.parametrize("attack,check", sorted(FRAUD_ATTACKS.items()))
+    def test_detect_witness_slash(self, devnet, keys, attack, check):
+        env = evil_env(devnet, keys, attack)
+        with pytest.raises(FraudDetected) as excinfo:
+            env.session.get_balance(keys.alice.address)
+        assert excinfo.value.report.check == check
+        package = excinfo.value.package
+        assert package is not None
+
+        lc_before = devnet.balance_of(keys.lc.address)
+        tr_before = devnet.balance_of(TREASURY_ADDRESS)
+        env.witness.submit(package)
+
+        assert devnet.call_view(DEPOSIT_MODULE_ADDRESS, "deposit_of",
+                                [keys.fn.address]) == 0
+        assert not devnet.call_view(DEPOSIT_MODULE_ADDRESS, "is_eligible",
+                                    [keys.fn.address])
+        assert (devnet.balance_of(keys.lc.address) - lc_before
+                == MIN_FULL_NODE_DEPOSIT // 4)
+        assert (devnet.balance_of(TREASURY_ADDRESS) - tr_before
+                == MIN_FULL_NODE_DEPOSIT // 2)
+
+    @pytest.mark.parametrize("attack,check", sorted(INVALID_ATTACKS.items()))
+    def test_invalid_not_slashable(self, devnet, keys, attack, check):
+        env = evil_env(devnet, keys, attack)
+        with pytest.raises(InvalidResponse) as excinfo:
+            env.session.get_balance(keys.alice.address)
+        assert excinfo.value.report.check == check
+        # nothing changed on-chain
+        assert devnet.call_view(DEPOSIT_MODULE_ADDRESS, "deposit_of",
+                                [keys.fn.address]) == MIN_FULL_NODE_DEPOSIT
+
+    def test_session_terminates_on_fraud(self, devnet, keys):
+        from repro.parp import LightClientState
+
+        env = evil_env(devnet, keys, "inflate_balance")
+        with pytest.raises(FraudDetected):
+            env.session.get_balance(keys.alice.address)
+        assert env.session.state is LightClientState.UNBONDING
+
+    def test_double_report_fails_gracefully(self, devnet, keys):
+        """The second fraud proof finds an empty deposit and reverts."""
+        env = evil_env(devnet, keys, "overcharge")
+        packages = []
+        for _ in range(2):
+            try:
+                env.session.state = __import__(
+                    "repro.parp.states", fromlist=["LightClientState"],
+                ).LightClientState.BONDED
+                env.session.get_balance(keys.alice.address)
+            except FraudDetected as exc:
+                packages.append(exc.package)
+        assert len(packages) == 2
+        env.witness.submit(packages[0])
+        with pytest.raises(FraudProofError):
+            env.witness.submit(packages[1])
+
+    def test_witness_profits_despite_gas(self, devnet, keys):
+        env = evil_env(devnet, keys, "bogus_proof")
+        with pytest.raises(FraudDetected) as excinfo:
+            env.session.get_balance(keys.alice.address)
+        wn_before = devnet.balance_of(keys.wn.address)
+        env.witness.submit(excinfo.value.package)
+        # the witness's share must exceed its gas outlay by a wide margin
+        assert devnet.balance_of(keys.wn.address) > wn_before
+
+    def test_fraud_on_write_workload(self, devnet, keys):
+        """Tampering with a send-raw-transaction response is also caught."""
+        from repro.chain import UnsignedTransaction
+
+        env = evil_env(devnet, keys, "inflate_balance")
+        tx = UnsignedTransaction(
+            nonce=0, gas_price=10 ** 9, gas_limit=21_000,
+            to=keys.bob.address, value=5,
+        ).sign(keys.alice)
+        with pytest.raises(FraudDetected) as excinfo:
+            env.session.send_raw_transaction(tx.encode())
+        env.witness.submit(excinfo.value.package)
+        assert devnet.call_view(DEPOSIT_MODULE_ADDRESS, "deposit_of",
+                                [keys.fn.address]) == 0
+
+    def test_honest_node_unslashable_end_to_end(self, parp_env):
+        """Replaying an honest exchange as 'fraud' must revert on-chain."""
+        session = parp_env.session
+        outcome = session.request("eth_getBalance", parp_env.keys.alice.address)
+        from repro.parp.fraudproof import build_fraud_package
+
+        package = build_fraud_package(
+            outcome.request, outcome.response, parp_env.alpha,
+            session.headers.get_header,
+            get_by_hash=session.headers.chain.get_by_hash,
+        )
+        with pytest.raises(FraudProofError):
+            parp_env.witness.submit(package)
+        assert parp_env.net.call_view(
+            DEPOSIT_MODULE_ADDRESS, "deposit_of", [parp_env.keys.fn.address],
+        ) == MIN_FULL_NODE_DEPOSIT

@@ -1,0 +1,66 @@
+"""§V-C liveness: catching channels that are closed behind the client's back."""
+
+import pytest
+
+from repro.contracts import CHANNELS_MODULE_ADDRESS
+from repro.parp.liveness import LivenessAlert, LivenessMonitor
+from repro.parp.states import ChannelStatus
+
+from ..conftest import make_parp_env
+
+
+class TestLiveness:
+    def test_healthy_channel_probes_clean(self, parp_env):
+        monitor = LivenessMonitor(parp_env.session, period=30.0)
+        observation = monitor.probe(now=0.0)
+        assert observation.claimed_status == ChannelStatus.OPEN.value
+        # second probe takes the verified path too (verify_every=2)
+        observation = monitor.probe(now=30.0)
+        assert observation.verified_status == ChannelStatus.OPEN.value
+        assert not observation.divergent
+
+    def test_due_schedule(self, parp_env):
+        monitor = LivenessMonitor(parp_env.session, period=30.0)
+        assert monitor.due(0.0)
+        monitor.probe(now=0.0)
+        assert not monitor.due(10.0)
+        assert monitor.due(31.0)
+
+    def test_secret_close_detected_via_verified_probe(self, devnet, keys):
+        """The FN closes the channel on-chain but keeps answering 'open'."""
+        env = make_parp_env(devnet, keys)
+        # FN secretly closes on-chain (with its latest — here zero — state).
+        result = devnet.execute(keys.fn, CHANNELS_MODULE_ADDRESS,
+                                "close_channel", [env.alpha, 0, b""])
+        assert result.succeeded
+        # The malicious server keeps its local record open, so the fast
+        # (unverified) probe still says OPEN…
+        assert env.session.channel_status_fast() == ChannelStatus.OPEN.value
+        # …but the verified storage-proof probe exposes CLOSING.
+        verified = env.session.channel_status_verified()
+        assert verified == ChannelStatus.CLOSING.value
+
+        monitor = LivenessMonitor(env.session, period=1.0, verify_every=1)
+        with pytest.raises(LivenessAlert) as excinfo:
+            monitor.probe(now=0.0)
+        assert excinfo.value.observation.divergent
+
+    def test_monitor_alerts_when_channel_closing(self, devnet, keys):
+        env = make_parp_env(devnet, keys)
+        devnet.execute(keys.lc, CHANNELS_MODULE_ADDRESS, "close_channel",
+                       [env.alpha, 0, b""])
+        env.server.mark_closed(env.alpha)  # honest server updates its view
+        monitor = LivenessMonitor(env.session, verify_every=1)
+        with pytest.raises(LivenessAlert):
+            monitor.probe(now=0.0)
+
+    def test_verified_status_is_proof_backed(self, parp_env):
+        """The status read is an eth_getStorageAt with a storage proof — the
+        response verification (classification VALID) is what makes it
+        trustworthy even from an untrusted node."""
+        status = parp_env.session.channel_status_verified()
+        assert status == ChannelStatus.OPEN.value
+        last = parp_env.session.history[-1]
+        assert last.report.valid
+        assert last.request.call.method == "eth_getStorageAt"
+        assert len(last.response.proof) > 0

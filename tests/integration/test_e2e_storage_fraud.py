@@ -1,0 +1,94 @@
+"""Storage-query fraud: the two-stage (account → storage) proof path.
+
+The liveness check (§V-C) rests on verified ``eth_getStorageAt`` reads of
+the CMM's status slot.  A full node that forges those would defeat the
+defense — unless storage lies are themselves slashable.  This test drives a
+forged storage read through detection, witnessing, and Algorithm 2.
+"""
+
+import pytest
+
+from repro.contracts import (
+    CHANNELS_MODULE_ADDRESS,
+    DEPOSIT_MODULE_ADDRESS,
+)
+from repro.contracts.channels import channel_status_slot
+from repro.crypto import PrivateKey
+from repro.parp import FraudDetected, MIN_FULL_NODE_DEPOSIT
+from repro.parp.adversary import MaliciousFullNodeServer
+from repro.parp.messages import PARPResponse, RpcCall
+from repro.parp.queries import QueryFraud, execute_query, verify_query_result
+from repro.rlp import decode, encode
+
+from ..conftest import make_parp_env
+
+
+class StorageLiar(MaliciousFullNodeServer):
+    """Forges eth_getStorageAt values (e.g. claims a closed channel open)."""
+
+    def __init__(self, *args, **kwargs):
+        kwargs.setdefault("attack", "inflate_balance")
+        super().__init__(*args, **kwargs)
+
+    def _execute_and_sign(self, request):
+        self.attacks_launched += 1
+        call = request.call
+        m_b = self.node.head_number()
+        result, proof = execute_query(self.node, call, m_b)
+        if call.method == "eth_getStorageAt":
+            value, account = decode(result)
+            forged_value = b"\x01" if value != b"\x01" else b"\x03"
+            result = encode([forged_value, account])
+        return PARPResponse.build(
+            alpha=request.alpha, request=request, m_b=self.node.head_number(),
+            result=result, proof=proof, key=self.key,
+        )
+
+
+class TestStorageFraud:
+    def test_forged_storage_value_detected_and_slashed(self, devnet, keys):
+        env = make_parp_env(devnet, keys, server_cls=StorageLiar)
+        slot = channel_status_slot(env.alpha)
+        with pytest.raises(FraudDetected) as excinfo:
+            env.session.get_storage_at(CHANNELS_MODULE_ADDRESS, slot)
+        assert excinfo.value.report.check == "merkle-proof"
+        env.witness.submit(excinfo.value.package)
+        assert devnet.call_view(DEPOSIT_MODULE_ADDRESS, "deposit_of",
+                                [keys.fn.address]) == 0
+
+    def test_liveness_check_cannot_be_spoofed(self, devnet, keys):
+        """channel_status_verified either returns the true status or raises
+        FraudDetected — a liar can never make it return a false status."""
+        env = make_parp_env(devnet, keys, server_cls=StorageLiar)
+        with pytest.raises(FraudDetected):
+            env.session.channel_status_verified()
+
+    def test_storage_fraud_adjudicates_on_chain_directly(self, devnet, keys):
+        """Unit-drive the FDM path: a storage lie fails verify_query_result
+        with QueryFraud, under the client AND the contract verifier."""
+        env = make_parp_env(devnet, keys, server_cls=StorageLiar)
+        session = env.session
+        slot = channel_status_slot(env.alpha)
+        call = RpcCall.create("eth_getStorageAt", CHANNELS_MODULE_ADDRESS, slot)
+        amount = session.channel.next_amount(session.fee_schedule.price(call))
+        request = session.build_request(call, amount)
+        session.channel.record_request(amount)
+        raw = env.server.serve_request(request.encode_wire())
+        response = PARPResponse.decode_wire(raw)
+        if response.m_b > session.headers.chain.tip_number:
+            session.headers.sync_to(response.m_b)
+        with pytest.raises(QueryFraud):
+            verify_query_result(call, response, session.headers.get_header)
+
+
+class TestHonestStorageReads:
+    def test_verified_storage_roundtrip(self, parp_env):
+        """Honest storage reads verify and decode to the stored value."""
+        slot = channel_status_slot(parp_env.alpha)
+        value = parp_env.session.get_storage_at(CHANNELS_MODULE_ADDRESS, slot)
+        assert int.from_bytes(value, "big") == 1  # OPEN
+
+    def test_vacant_slot_reads_empty(self, parp_env):
+        vacant = b"\x77" * 32
+        value = parp_env.session.get_storage_at(CHANNELS_MODULE_ADDRESS, vacant)
+        assert value == b""

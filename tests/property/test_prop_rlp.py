@@ -1,0 +1,64 @@
+"""Property tests: RLP is a bijection on its value domain."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.rlp import decode, decode_int, encode, encode_int
+
+# Arbitrary nested structures of byte strings (the full RLP value domain).
+rlp_items = st.recursive(
+    st.binary(max_size=64),
+    lambda children: st.lists(children, max_size=6),
+    max_leaves=24,
+)
+
+
+class TestRlpRoundtrip:
+    @given(rlp_items)
+    @settings(max_examples=300)
+    def test_decode_inverts_encode(self, item):
+        assert decode(encode(item)) == item
+
+    @given(rlp_items, rlp_items)
+    @settings(max_examples=150)
+    def test_encoding_is_injective(self, a, b):
+        if a != b:
+            assert encode(a) != encode(b)
+
+    @given(st.binary(max_size=512))
+    @settings(max_examples=200)
+    def test_single_string_roundtrip(self, data):
+        assert decode(encode(data)) == data
+
+    @given(st.integers(min_value=0, max_value=2 ** 256 - 1))
+    @settings(max_examples=300)
+    def test_integer_roundtrip(self, value):
+        assert decode_int(encode_int(value)) == value
+
+    @given(st.integers(min_value=0, max_value=2 ** 256 - 1))
+    def test_integer_encoding_minimal(self, value):
+        raw = encode_int(value)
+        assert not raw or raw[0] != 0  # no leading zeros
+
+    @given(st.integers(min_value=0, max_value=2 ** 64),
+           st.integers(min_value=0, max_value=2 ** 64))
+    def test_integer_encoding_order_preserving_on_length(self, a, b):
+        """Bigger ints never encode shorter."""
+        if a < b:
+            assert len(encode_int(a)) <= len(encode_int(b))
+
+
+class TestRlpRobustness:
+    """Random byte soup must decode cleanly or raise RLPError — never crash
+    with an arbitrary exception (the FDM decodes untrusted calldata)."""
+
+    @given(st.binary(min_size=1, max_size=256))
+    @settings(max_examples=400)
+    def test_decode_never_crashes(self, blob):
+        from repro.rlp import RLPError
+
+        try:
+            item = decode(blob)
+        except RLPError:
+            return
+        # whatever decoded must re-encode to the same canonical bytes
+        assert encode(item) == blob

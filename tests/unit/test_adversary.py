@@ -1,0 +1,89 @@
+"""Adversary module: every attack yields its designed classification.
+
+Unit-level complement to the integration matrix: checks the forged
+responses directly (without the session layer), including that each attack
+changes exactly the field it claims to change.
+"""
+
+import pytest
+
+from repro.parp.adversary import ATTACKS, MaliciousFullNodeServer, _sign_response
+from repro.parp.messages import PARPRequest, ResponseStatus, RpcCall
+from repro.parp.states import ResponseClass
+from repro.parp.verification import classify_response
+
+from ..conftest import make_parp_env
+
+EXPECTED = {
+    "inflate_balance": ResponseClass.FRAUD,
+    "bogus_proof": ResponseClass.FRAUD,
+    "overcharge": ResponseClass.FRAUD,
+    "stale_height": ResponseClass.FRAUD,
+    "wrong_signature": ResponseClass.INVALID,
+    "wrong_request_hash": ResponseClass.INVALID,
+    "wrong_channel": ResponseClass.INVALID,
+}
+
+
+class TestAttackCatalog:
+    def test_catalog_is_complete(self):
+        assert set(ATTACKS) == set(EXPECTED)
+
+    def test_unknown_attack_rejected(self, devnet, keys):
+        from repro.node import FullNode
+
+        node = FullNode(devnet.chain, key=keys.fn)
+        with pytest.raises(ValueError):
+            MaliciousFullNodeServer(node, attack="ddos")
+
+    @pytest.mark.parametrize("attack", sorted(EXPECTED))
+    def test_classification_matrix(self, devnet, keys, attack):
+        env = make_parp_env(devnet, keys,
+                            server_cls=MaliciousFullNodeServer, attack=attack)
+        session = env.session
+        call = RpcCall.create("eth_getBalance", keys.alice.address)
+        amount = session.channel.next_amount(session.fee_schedule.price(call))
+        request = session.build_request(call, amount)
+        session.channel.record_request(amount)
+        raw = env.server.serve_request(request.encode_wire())
+        from repro.parp.messages import PARPResponse
+
+        response = PARPResponse.decode_wire(raw)
+        # bypassing the session layer means syncing headers manually
+        if response.m_b > session.headers.chain.tip_number:
+            session.headers.sync_to(response.m_b)
+        report = classify_response(
+            request, response, env.alpha, env.server.address,
+            session.headers.height_of(request.h_b),
+            session.headers.get_header,
+        )
+        assert report.classification is EXPECTED[attack], report
+        assert env.server.attacks_launched == 1
+
+    def test_overcharge_changes_only_amount(self, devnet, keys):
+        env = make_parp_env(devnet, keys,
+                            server_cls=MaliciousFullNodeServer,
+                            attack="overcharge")
+        session = env.session
+        call = RpcCall.create("eth_getBalance", keys.alice.address)
+        amount = session.channel.next_amount(session.fee_schedule.price(call))
+        request = session.build_request(call, amount)
+        session.channel.record_request(amount)
+        from repro.parp.messages import PARPResponse
+
+        response = PARPResponse.decode_wire(
+            env.server.serve_request(request.encode_wire()))
+        assert response.a == request.a + 10 ** 9
+        # the forgery is still *signed by the attacker* — attributability
+        assert response.signer(env.alpha) == env.server.address
+
+    def test_sign_response_helper_signs_lies(self, devnet, keys):
+        env = make_parp_env(devnet, keys)
+        call = RpcCall.create("eth_blockNumber")
+        request = PARPRequest.build(env.alpha, devnet.chain.head.hash, 100,
+                                    call, keys.lc)
+        forged = _sign_response(keys.fn, env.alpha, request, m_b=1,
+                                amount=999, result=b"lie", proof=[],
+                                status=ResponseStatus.OK)
+        assert forged.signer(env.alpha) == keys.fn.address
+        assert forged.a == 999

@@ -1,0 +1,110 @@
+"""Full Nodes Deposit Module: staking, unbonding, slashing authorization."""
+
+import pytest
+
+from repro.chain import GenesisConfig
+from repro.contracts import DEPOSIT_MODULE_ADDRESS, TREASURY_ADDRESS
+from repro.crypto import PrivateKey
+from repro.node import Devnet
+from repro.parp.constants import MIN_FULL_NODE_DEPOSIT, UNBONDING_BLOCKS
+
+FN = PrivateKey.from_seed("dep:fn")
+LC = PrivateKey.from_seed("dep:lc")
+WN = PrivateKey.from_seed("dep:wn")
+INTRUDER = PrivateKey.from_seed("dep:intruder")
+TOKEN = 10 ** 18
+
+
+@pytest.fixture
+def net() -> Devnet:
+    return Devnet(GenesisConfig(allocations={
+        FN.address: 100 * TOKEN, LC.address: 10 * TOKEN,
+        WN.address: 10 * TOKEN, INTRUDER.address: 10 * TOKEN,
+    }))
+
+
+def deposit(net, key=FN, value=MIN_FULL_NODE_DEPOSIT):
+    return net.execute(key, DEPOSIT_MODULE_ADDRESS, "deposit", value=value)
+
+
+class TestDeposit:
+    def test_deposit_registers_collateral(self, net):
+        result = deposit(net)
+        assert result.succeeded
+        assert net.call_view(DEPOSIT_MODULE_ADDRESS, "deposit_of",
+                             [FN.address]) == MIN_FULL_NODE_DEPOSIT
+        assert net.balance_of(DEPOSIT_MODULE_ADDRESS) == MIN_FULL_NODE_DEPOSIT
+
+    def test_deposit_emits_discovery_event(self, net):
+        result = deposit(net)
+        from repro.crypto import keccak256
+
+        topics = result.receipt.logs[0].topics
+        assert topics[0] == keccak256(b"Deposited")
+        assert topics[1][-20:] == FN.address.to_bytes()
+
+    def test_deposits_accumulate(self, net):
+        deposit(net, value=MIN_FULL_NODE_DEPOSIT // 2)
+        assert not net.call_view(DEPOSIT_MODULE_ADDRESS, "is_eligible", [FN.address])
+        deposit(net, value=MIN_FULL_NODE_DEPOSIT // 2)
+        assert net.call_view(DEPOSIT_MODULE_ADDRESS, "is_eligible", [FN.address])
+
+    def test_zero_value_rejected(self, net):
+        result = net.execute(FN, DEPOSIT_MODULE_ADDRESS, "deposit", value=0)
+        assert not result.succeeded
+
+    def test_eligibility_threshold(self, net):
+        deposit(net, value=MIN_FULL_NODE_DEPOSIT - 1)
+        assert not net.call_view(DEPOSIT_MODULE_ADDRESS, "is_eligible", [FN.address])
+
+
+class TestUnbonding:
+    def test_withdraw_requires_stop_serving(self, net):
+        deposit(net)
+        result = net.execute(FN, DEPOSIT_MODULE_ADDRESS, "withdraw")
+        assert not result.succeeded
+
+    def test_withdraw_requires_waiting(self, net):
+        deposit(net)
+        assert net.execute(FN, DEPOSIT_MODULE_ADDRESS, "stop_serving").succeeded
+        result = net.execute(FN, DEPOSIT_MODULE_ADDRESS, "withdraw")
+        assert not result.succeeded  # window not yet over
+
+    def test_withdraw_after_unbonding(self, net):
+        deposit(net)
+        net.execute(FN, DEPOSIT_MODULE_ADDRESS, "stop_serving")
+        net.advance_blocks(UNBONDING_BLOCKS + 1)
+        before = net.balance_of(FN.address)
+        result = net.execute(FN, DEPOSIT_MODULE_ADDRESS, "withdraw")
+        assert result.succeeded
+        assert net.balance_of(FN.address) > before
+        assert net.call_view(DEPOSIT_MODULE_ADDRESS, "deposit_of", [FN.address]) == 0
+
+    def test_unbonding_node_not_eligible(self, net):
+        deposit(net)
+        net.execute(FN, DEPOSIT_MODULE_ADDRESS, "stop_serving")
+        assert not net.call_view(DEPOSIT_MODULE_ADDRESS, "is_eligible", [FN.address])
+
+    def test_stop_serving_without_deposit_rejected(self, net):
+        result = net.execute(INTRUDER, DEPOSIT_MODULE_ADDRESS, "stop_serving")
+        assert not result.succeeded
+
+
+class TestSlashing:
+    def test_only_fraud_module_may_slash(self, net):
+        deposit(net)
+        result = net.execute(
+            INTRUDER, DEPOSIT_MODULE_ADDRESS, "slash",
+            [FN.address, LC.address, WN.address],
+        )
+        assert not result.succeeded
+        assert net.call_view(DEPOSIT_MODULE_ADDRESS, "deposit_of",
+                             [FN.address]) == MIN_FULL_NODE_DEPOSIT
+
+    def test_slash_splits_sum_to_deposit(self, net):
+        """The 3-way split must conserve the confiscated amount exactly."""
+        from repro.contracts.deposit import (
+            SLASH_REPORTER_BPS, SLASH_TREASURY_BPS, SLASH_WITNESS_BPS,
+        )
+
+        assert SLASH_TREASURY_BPS + SLASH_REPORTER_BPS + SLASH_WITNESS_BPS == 10_000

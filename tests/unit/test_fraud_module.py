@@ -1,0 +1,263 @@
+"""Fraud Detection Module: Algorithm 2 branch coverage on-chain.
+
+Builds raw request/response pairs directly (below the client/server layer)
+so each FDM branch can be driven in isolation — including the paths the
+normal client could never produce.
+"""
+
+import pytest
+
+from repro.chain import GenesisConfig
+from repro.contracts import (
+    CHANNELS_MODULE_ADDRESS,
+    DEPOSIT_MODULE_ADDRESS,
+    FRAUD_MODULE_ADDRESS,
+    TREASURY_ADDRESS,
+)
+from repro.crypto import PrivateKey
+from repro.node import Devnet
+from repro.parp.constants import MIN_FULL_NODE_DEPOSIT
+from repro.parp.messages import (
+    PARPRequest,
+    PARPResponse,
+    RpcCall,
+    handshake_digest,
+)
+from repro.parp.queries import execute_query
+from repro.node.fullnode import FullNode
+
+FN = PrivateKey.from_seed("fdm:fn")
+LC = PrivateKey.from_seed("fdm:lc")
+WN = PrivateKey.from_seed("fdm:wn")
+ALICE = PrivateKey.from_seed("fdm:alice")
+TOKEN = 10 ** 18
+
+
+@pytest.fixture
+def env():
+    net = Devnet(GenesisConfig(allocations={
+        FN.address: 100 * TOKEN, LC.address: 10 * TOKEN,
+        WN.address: 10 * TOKEN, ALICE.address: 2 * TOKEN,
+    }))
+    net.execute(FN, DEPOSIT_MODULE_ADDRESS, "deposit", value=MIN_FULL_NODE_DEPOSIT)
+    expiry = net.chain.head.header.timestamp + 1_000
+    sig = FN.sign(handshake_digest(LC.address, expiry)).to_bytes()
+    result = net.execute(LC, CHANNELS_MODULE_ADDRESS, "open_channel",
+                         [FN.address, expiry, sig], value=TOKEN)
+    alpha = result.return_value
+    net.advance_blocks(2)
+    node = FullNode(net.chain, key=FN)
+    return net, node, alpha
+
+
+def balance_exchange(net, node, alpha, amount=10_000):
+    """An honest request/response pair for eth_getBalance(alice)."""
+    call = RpcCall.create("eth_getBalance", ALICE.address)
+    h_b = net.chain.head.hash
+    request = PARPRequest.build(alpha, h_b, amount, call, LC)
+    m_b = node.head_number()
+    result, proof = execute_query(node, call, m_b)
+    response = PARPResponse.build(alpha, request, m_b, result, proof, FN)
+    return request, response
+
+
+def submit(net, request, response, alpha, proof_header=None, req_header=None):
+    chain = net.chain
+    req_header = req_header or chain.get_block_by_hash(request.h_b).header
+    proof_header = proof_header or chain.get_header(response.m_b)
+    return net.execute(
+        WN, FRAUD_MODULE_ADDRESS, "submit_fraud_proof",
+        [request.encode_wire(), response.encode_for_fraud(alpha),
+         proof_header.encode(), req_header.encode(), WN.address],
+    )
+
+
+class TestHonestResponsesSafe:
+    def test_honest_response_reverts(self, env):
+        """Algorithm 2 must never slash an honest node."""
+        net, node, alpha = env
+        request, response = balance_exchange(net, node, alpha)
+        result = submit(net, request, response, alpha)
+        assert not result.succeeded
+        assert "no fraud" in result.error
+        assert net.call_view(DEPOSIT_MODULE_ADDRESS, "deposit_of",
+                             [FN.address]) == MIN_FULL_NODE_DEPOSIT
+
+
+class TestFraudBranches:
+    def test_payment_mismatch_slashes(self, env):
+        net, node, alpha = env
+        request, honest = balance_exchange(net, node, alpha)
+        from repro.parp.adversary import _sign_response
+
+        forged = _sign_response(FN, alpha, request, m_b=honest.m_b,
+                                amount=request.a + 5, result=honest.result,
+                                proof=list(honest.proof))
+        result = submit(net, request, forged, alpha)
+        assert result.succeeded
+        assert net.call_view(DEPOSIT_MODULE_ADDRESS, "deposit_of",
+                             [FN.address]) == 0
+
+    def test_stale_height_slashes(self, env):
+        net, node, alpha = env
+        call = RpcCall.create("eth_getBalance", ALICE.address)
+        pinned = net.chain.head  # request pins the current tip
+        request = PARPRequest.build(alpha, pinned.hash, 10_000, call, LC)
+        stale_height = pinned.number - 2
+        result_bytes, proof = execute_query(node, call, stale_height)
+        response = PARPResponse.build(alpha, request, stale_height,
+                                      result_bytes, proof, FN)
+        outcome = submit(net, request, response, alpha,
+                         proof_header=net.chain.get_header(stale_height))
+        assert outcome.succeeded
+
+    def test_bad_proof_slashes(self, env):
+        net, node, alpha = env
+        request, honest = balance_exchange(net, node, alpha)
+        bogus = PARPResponse.build(
+            alpha, request, honest.m_b, honest.result,
+            [node[::-1] for node in honest.proof], FN,
+        )
+        result = submit(net, request, bogus, alpha)
+        assert result.succeeded
+
+    def test_tampered_result_slashes(self, env):
+        net, node, alpha = env
+        request, honest = balance_exchange(net, node, alpha)
+        from repro.chain import Account
+
+        account = Account.decode(honest.result)
+        lie = account.with_balance(account.balance * 7).encode()
+        forged = PARPResponse.build(alpha, request, honest.m_b, lie,
+                                    list(honest.proof), FN)
+        result = submit(net, request, forged, alpha)
+        assert result.succeeded
+
+    def test_slash_distribution(self, env):
+        net, node, alpha = env
+        request, honest = balance_exchange(net, node, alpha)
+        from repro.parp.adversary import _sign_response
+
+        forged = _sign_response(FN, alpha, request, m_b=honest.m_b,
+                                amount=request.a + 5, result=honest.result,
+                                proof=list(honest.proof))
+        lc_before = net.balance_of(LC.address)
+        wn_before = net.balance_of(WN.address)
+        tr_before = net.balance_of(TREASURY_ADDRESS)
+        result = submit(net, request, forged, alpha)
+        assert result.succeeded
+        lc_gain = net.balance_of(LC.address) - lc_before
+        tr_gain = net.balance_of(TREASURY_ADDRESS) - tr_before
+        # witness paid gas, so compare against the raw 25% cut
+        wn_gain_plus_gas = (net.balance_of(WN.address) - wn_before
+                            + result.gas_used * 12 * 10 ** 9)
+        assert lc_gain == MIN_FULL_NODE_DEPOSIT * 25 // 100
+        assert wn_gain_plus_gas == MIN_FULL_NODE_DEPOSIT * 25 // 100
+        assert tr_gain == MIN_FULL_NODE_DEPOSIT * 50 // 100
+
+
+class TestRejectionBranches:
+    """Submissions that must revert without slashing."""
+
+    def deposit_intact(self, net):
+        assert net.call_view(DEPOSIT_MODULE_ADDRESS, "deposit_of",
+                             [FN.address]) == MIN_FULL_NODE_DEPOSIT
+
+    def test_channel_id_mismatch(self, env):
+        net, node, alpha = env
+        request, response = balance_exchange(net, node, alpha)
+        result = net.execute(
+            WN, FRAUD_MODULE_ADDRESS, "submit_fraud_proof",
+            [request.encode_wire(), response.encode_for_fraud(b"\x00" * 16),
+             net.chain.get_header(response.m_b).encode(),
+             net.chain.get_block_by_hash(request.h_b).header.encode(),
+             WN.address],
+        )
+        assert not result.succeeded
+        self.deposit_intact(net)
+
+    def test_unknown_channel(self, env):
+        net, node, alpha = env
+        fake_alpha = b"\x42" * 16
+        call = RpcCall.create("eth_getBalance", ALICE.address)
+        request = PARPRequest.build(fake_alpha, net.chain.head.hash, 1, call, LC)
+        m_b = node.head_number()
+        result_bytes, proof = execute_query(node, call, m_b)
+        response = PARPResponse.build(fake_alpha, request, m_b, result_bytes,
+                                      proof, FN)
+        result = submit(net, request, response, fake_alpha)
+        assert not result.succeeded
+        self.deposit_intact(net)
+
+    def test_request_not_signed_by_channel_lc(self, env):
+        net, node, alpha = env
+        imposter = PrivateKey.from_seed("fdm:imposter")
+        call = RpcCall.create("eth_getBalance", ALICE.address)
+        request = PARPRequest.build(alpha, net.chain.head.hash, 1, call, imposter)
+        m_b = node.head_number()
+        result_bytes, proof = execute_query(node, call, m_b)
+        response = PARPResponse.build(alpha, request, m_b, result_bytes, proof, FN)
+        result = submit(net, request, response, alpha)
+        assert not result.succeeded
+        self.deposit_intact(net)
+
+    def test_response_not_signed_by_channel_fn(self, env):
+        net, node, alpha = env
+        rogue = PrivateKey.from_seed("fdm:rogue")
+        request, _ = balance_exchange(net, node, alpha)
+        call = request.call
+        result_bytes, proof = execute_query(node, call, node.head_number())
+        response = PARPResponse.build(alpha, request, node.head_number(),
+                                      result_bytes, proof, rogue)
+        result = submit(net, request, response, alpha)
+        assert not result.succeeded
+        self.deposit_intact(net)
+
+    def test_wrong_height_reference_header(self, env):
+        net, node, alpha = env
+        request, response = balance_exchange(net, node, alpha)
+        wrong_header = net.chain.get_header(0)  # hash won't match req.h_b
+        result = submit(net, request, response, alpha, req_header=wrong_header)
+        assert not result.succeeded
+        self.deposit_intact(net)
+
+    def test_non_canonical_proof_header(self, env):
+        net, node, alpha = env
+        request, honest = balance_exchange(net, node, alpha)
+        # bogus proof forces the Merkle branch; forged header must be caught
+        bogus = PARPResponse.build(alpha, request, honest.m_b, honest.result,
+                                   [b"\xbb" * 40], FN)
+        from dataclasses import replace
+
+        forged_header = replace(net.chain.get_header(bogus.m_b),
+                                extra_data=b"not-canonical")
+        result = submit(net, request, bogus, alpha, proof_header=forged_header)
+        assert not result.succeeded
+        self.deposit_intact(net)
+
+    def test_undecodable_evidence(self, env):
+        net, node, alpha = env
+        result = net.execute(
+            WN, FRAUD_MODULE_ADDRESS, "submit_fraud_proof",
+            [b"garbage", b"more garbage", b"h", b"h", WN.address],
+        )
+        assert not result.succeeded
+
+    def test_closed_channel_not_adjudicable(self, env):
+        net, node, alpha = env
+        request, honest = balance_exchange(net, node, alpha)
+        # close + settle the channel
+        from repro.parp.constants import DISPUTE_WINDOW_BLOCKS
+
+        net.execute(LC, CHANNELS_MODULE_ADDRESS, "close_channel", [alpha, 0, b""])
+        net.advance_blocks(DISPUTE_WINDOW_BLOCKS + 1)
+        net.execute(LC, CHANNELS_MODULE_ADDRESS, "confirm_closure", [alpha])
+        from repro.parp.adversary import _sign_response
+
+        forged = _sign_response(FN, alpha, request, m_b=honest.m_b,
+                                amount=request.a + 5, result=honest.result,
+                                proof=list(honest.proof))
+        # header windows: request grew stale; use fresh pair anyway
+        result = submit(net, request, forged, alpha)
+        assert not result.succeeded
+        self.deposit_intact(net)

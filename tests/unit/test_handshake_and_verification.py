@@ -1,0 +1,155 @@
+"""Handshake messages (Algorithm 1) and the §V-D classification logic."""
+
+import pytest
+
+from repro.crypto import PrivateKey, keccak256
+from repro.parp.handshake import (
+    Handshake,
+    HandshakeConfirm,
+    HandshakeError,
+    OpenChannelReceipt,
+)
+from repro.parp.messages import PARPRequest, PARPResponse, ResponseStatus, RpcCall
+from repro.parp.states import ResponseClass
+from repro.parp.verification import classify_response
+
+LC = PrivateKey.from_seed("hv:lc")
+FN = PrivateKey.from_seed("hv:fn")
+ALPHA = keccak256(b"hv")[:16]
+H_B = keccak256(b"hv-block")
+
+
+class TestHandshakeConfirm:
+    def test_build_verify(self):
+        confirm = HandshakeConfirm.build(FN, LC.address, expiry=12_345)
+        confirm.verify(LC.address)  # must not raise
+        assert confirm.full_node == FN.address
+
+    def test_wrong_light_client_rejected(self):
+        confirm = HandshakeConfirm.build(FN, LC.address, expiry=12_345)
+        with pytest.raises(HandshakeError):
+            confirm.verify(FN.address)
+
+    def test_tampered_expiry_rejected(self):
+        confirm = HandshakeConfirm.build(FN, LC.address, expiry=12_345)
+        forged = HandshakeConfirm(confirm.full_node, 99_999, confirm.signature)
+        with pytest.raises(HandshakeError):
+            forged.verify(LC.address)
+
+    def test_impersonation_rejected(self):
+        rogue = PrivateKey.from_seed("hv:rogue")
+        confirm = HandshakeConfirm.build(rogue, LC.address, expiry=1)
+        forged = HandshakeConfirm(FN.address, 1, confirm.signature)
+        with pytest.raises(HandshakeError):
+            forged.verify(LC.address)
+
+    def test_garbage_signature(self):
+        confirm = HandshakeConfirm(FN.address, 1, b"\x00" * 65)
+        with pytest.raises(HandshakeError):
+            confirm.verify(LC.address)
+
+
+class TestOpenChannelReceipt:
+    def test_build_verify(self):
+        receipt = OpenChannelReceipt.build(FN, ALPHA)
+        receipt.verify(FN.address)
+        assert receipt.channel_id == ALPHA
+
+    def test_wrong_signer_rejected(self):
+        rogue = PrivateKey.from_seed("hv:rogue2")
+        receipt = OpenChannelReceipt.build(rogue, ALPHA)
+        with pytest.raises(HandshakeError):
+            receipt.verify(FN.address)
+
+    def test_bad_channel_id_length(self):
+        with pytest.raises(HandshakeError):
+            OpenChannelReceipt.build(FN, b"short")
+
+
+def make_pair(amount=100, m_b=5, result=b"", proof=(), status=ResponseStatus.OK):
+    call = RpcCall.create("eth_blockNumber")
+    request = PARPRequest.build(ALPHA, H_B, amount, call, LC)
+    response = PARPResponse.build(ALPHA, request, m_b, result, list(proof),
+                                  FN, status=status)
+    return request, response
+
+
+NO_HEADERS = staticmethod(lambda n: None)
+
+
+class TestClassification:
+    """Unit-level coverage of the §V-D decision table (integration tests
+    drive the same logic through real servers)."""
+
+    def classify(self, request, response, request_height=3):
+        return classify_response(request, response, ALPHA, FN.address,
+                                 request_height, lambda n: None)
+
+    def test_valid_unverifiable_response(self):
+        request, response = make_pair()
+        report = self.classify(request, response)
+        assert report.classification is ResponseClass.VALID
+
+    def test_wrong_request_hash_invalid(self):
+        request, response = make_pair()
+        from dataclasses import replace
+
+        forged = replace(response, h_req=keccak256(b"other"))
+        report = self.classify(request, forged)
+        assert report.classification is ResponseClass.INVALID
+        assert report.check == "request-hash"
+
+    def test_wrong_request_sig_echo_invalid(self):
+        request, response = make_pair()
+        from dataclasses import replace
+
+        forged = replace(response, sig_req=b"\x01" * 65)
+        report = self.classify(request, forged)
+        assert report.classification is ResponseClass.INVALID
+
+    def test_wrong_signer_invalid(self):
+        call = RpcCall.create("eth_blockNumber")
+        request = PARPRequest.build(ALPHA, H_B, 100, call, LC)
+        rogue = PrivateKey.from_seed("hv:rogue3")
+        response = PARPResponse.build(ALPHA, request, 5, b"", [], rogue)
+        report = self.classify(request, response)
+        assert report.classification is ResponseClass.INVALID
+        assert report.check == "response-signature"
+
+    def test_payment_mismatch_fraud(self):
+        request, honest = make_pair()
+        from repro.parp.adversary import _sign_response
+
+        forged = _sign_response(FN, ALPHA, request, m_b=5,
+                                amount=request.a + 1, result=b"", proof=[])
+        report = self.classify(request, forged)
+        assert report.classification is ResponseClass.FRAUD
+        assert report.check == "payment-amount"
+
+    def test_stale_height_fraud(self):
+        request, response = make_pair(m_b=1)
+        report = self.classify(request, response, request_height=4)
+        assert report.classification is ResponseClass.FRAUD
+        assert report.check == "timestamp"
+
+    def test_equal_height_not_fraud(self):
+        request, response = make_pair(m_b=4)
+        report = self.classify(request, response, request_height=4)
+        assert report.classification is ResponseClass.VALID
+
+    def test_signed_error_is_valid_but_flagged(self):
+        request, response = make_pair(status=ResponseStatus.ERROR)
+        report = self.classify(request, response)
+        assert report.classification is ResponseClass.VALID
+        assert report.is_error_response
+
+    def test_fraud_checks_precede_error_status(self):
+        """Even an 'error' response must not lie about the amount."""
+        request, _ = make_pair()
+        from repro.parp.adversary import _sign_response
+
+        forged = _sign_response(FN, ALPHA, request, m_b=5,
+                                amount=request.a + 9, result=b"",
+                                proof=[], status=ResponseStatus.ERROR)
+        report = self.classify(request, forged)
+        assert report.classification is ResponseClass.FRAUD

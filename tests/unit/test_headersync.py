@@ -1,0 +1,142 @@
+"""Header chain continuity and multi-source sync with quorum checking."""
+
+import pytest
+
+from repro.chain import GenesisConfig
+from repro.chain.header import BlockHeader
+from repro.crypto import PrivateKey
+from repro.crypto.keys import Address
+from repro.lightclient import (
+    HeaderChain,
+    HeaderChainError,
+    HeaderSyncer,
+    SyncError,
+)
+from repro.node import Devnet, FullNode
+
+
+def build_chain(blocks=5) -> Devnet:
+    net = Devnet(GenesisConfig())
+    net.advance_blocks(blocks)
+    return net
+
+
+class TestHeaderChain:
+    def test_append_continuity(self):
+        net = build_chain(3)
+        chain = HeaderChain()
+        for number in range(4):
+            chain.append(net.chain.get_header(number))
+        assert chain.tip_number == 3
+        assert len(chain) == 4
+
+    def test_rejects_gap(self):
+        net = build_chain(3)
+        chain = HeaderChain(anchor=net.chain.get_header(0))
+        with pytest.raises(HeaderChainError):
+            chain.append(net.chain.get_header(2))
+
+    def test_rejects_broken_link(self):
+        net = build_chain(2)
+        chain = HeaderChain(anchor=net.chain.get_header(0))
+        good = net.chain.get_header(1)
+        from dataclasses import replace
+
+        forged = replace(good, parent_hash=b"\x66" * 32)
+        with pytest.raises(HeaderChainError):
+            chain.append(forged)
+
+    def test_checkpoint_anchor(self):
+        net = build_chain(5)
+        chain = HeaderChain(anchor=net.chain.get_header(3))
+        chain.append(net.chain.get_header(4))
+        assert chain.anchor_number == 3
+        assert chain.get_header(2) is None  # below the anchor
+
+    def test_lookup_by_hash(self):
+        net = build_chain(2)
+        chain = HeaderChain(anchor=net.chain.get_header(0))
+        header = net.chain.get_header(1)
+        chain.append(header)
+        assert chain.get_by_hash(header.hash) == header
+        assert chain.height_of(header.hash) == 1
+        assert header.hash in chain
+
+    def test_empty_chain_errors(self):
+        with pytest.raises(HeaderChainError):
+            HeaderChain().tip
+
+
+class _LyingSource:
+    """A header source that forges headers above a given height."""
+
+    def __init__(self, node: FullNode, lie_from: int) -> None:
+        self.node = node
+        self.lie_from = lie_from
+
+    def serve_head_number(self) -> int:
+        return self.node.serve_head_number()
+
+    def serve_header(self, number: int):
+        header = self.node.serve_header(number)
+        if header is None or number < self.lie_from:
+            return header
+        from dataclasses import replace
+
+        return replace(header, extra_data=b"FORGED")
+
+
+class TestHeaderSyncer:
+    def test_syncs_to_head(self):
+        net = build_chain(6)
+        nodes = [FullNode(net.chain, name=f"n{i}") for i in range(3)]
+        syncer = HeaderSyncer(nodes)
+        tip = syncer.sync()
+        assert tip.number == 6
+        assert syncer.tip.hash == net.chain.head.hash
+
+    def test_minority_liar_outvoted(self):
+        net = build_chain(5)
+        honest = [FullNode(net.chain, name=f"h{i}") for i in range(2)]
+        liar = _LyingSource(FullNode(net.chain, name="liar"), lie_from=2)
+        syncer = HeaderSyncer(honest + [liar])
+        tip = syncer.sync()
+        assert tip.hash == net.chain.head.hash
+        assert 2 in syncer.suspects  # the liar was caught
+
+    def test_no_quorum_fails_closed(self):
+        net = build_chain(4)
+        honest = FullNode(net.chain, name="h")
+        liar = _LyingSource(FullNode(net.chain, name="l"), lie_from=1)
+        syncer = HeaderSyncer([honest, liar], quorum=2)
+        with pytest.raises(SyncError):
+            syncer.sync()
+
+    def test_median_head_target(self):
+        net = build_chain(4)
+
+        class Exaggerator:
+            def __init__(self, node):
+                self.node = node
+
+            def serve_head_number(self):
+                return 10_000  # claims a far future head
+
+            def serve_header(self, number):
+                return self.node.serve_header(number)
+
+        nodes = [FullNode(net.chain, name=f"m{i}") for i in range(2)]
+        syncer = HeaderSyncer(nodes + [Exaggerator(nodes[0])])
+        assert syncer.head_target() == 4  # median defeats the exaggerator
+
+    def test_ensure_height_syncs_forward(self):
+        net = build_chain(2)
+        syncer = HeaderSyncer([FullNode(net.chain, name="x")])
+        syncer.sync()
+        net.advance_blocks(3)
+        header = syncer.ensure_height(5)
+        assert header.number == 5
+
+    def test_requires_sources(self):
+        with pytest.raises(ValueError):
+            HeaderSyncer([])

@@ -1,0 +1,122 @@
+"""FullNode backend behaviour and Devnet conveniences."""
+
+import pytest
+
+from repro.chain import ChainError, GenesisConfig, UnsignedTransaction
+from repro.crypto import PrivateKey
+from repro.node import Devnet, FullNode
+
+ALICE = PrivateKey.from_seed("nd:alice")
+BOB = PrivateKey.from_seed("nd:bob")
+TOKEN = 10 ** 18
+
+
+@pytest.fixture
+def net() -> Devnet:
+    return Devnet(GenesisConfig(allocations={ALICE.address: 10 * TOKEN}))
+
+
+def transfer(nonce=0, value=1):
+    return UnsignedTransaction(nonce=nonce, gas_price=10 ** 9,
+                               gas_limit=21_000, to=BOB.address,
+                               value=value).sign(ALICE)
+
+
+class TestFullNodeBackend:
+    def test_submit_and_mine(self, net):
+        node = FullNode(net.chain, name="n1")
+        tx = transfer()
+        tx_hash = node.submit_transaction(tx.encode())
+        assert tx_hash == tx.hash
+        location = node.ensure_mined(tx_hash)
+        assert location == (1, 0)
+
+    def test_submit_is_idempotent(self, net):
+        node = FullNode(net.chain, name="n1")
+        tx = transfer()
+        node.submit_transaction(tx.encode())
+        assert node.submit_transaction(tx.encode()) == tx.hash  # pending dup
+        node.ensure_mined(tx.hash)
+        assert node.submit_transaction(tx.encode()) == tx.hash  # mined dup
+
+    def test_submit_rejects_garbage(self, net):
+        node = FullNode(net.chain, name="n1")
+        with pytest.raises(ChainError):
+            node.submit_transaction(b"\x00\x01\x02")
+
+    def test_no_auto_mine(self, net):
+        node = FullNode(net.chain, name="n1", auto_mine=False)
+        tx_hash = node.submit_transaction(transfer().encode())
+        assert node.ensure_mined(tx_hash) is None
+        assert len(net.chain.mempool) == 1
+
+    def test_header_service(self, net):
+        node = FullNode(net.chain, name="n1")
+        net.advance_blocks(3)
+        assert node.serve_head_number() == 3
+        assert node.serve_header(2).number == 2
+        assert node.serve_header(99) is None
+
+    def test_shared_chain_between_nodes(self, net):
+        """Multiple full nodes following one chain see the same data."""
+        node_a = FullNode(net.chain, name="a")
+        node_b = FullNode(net.chain, name="b")
+        tx_hash = node_a.submit_transaction(transfer().encode())
+        node_a.ensure_mined(tx_hash)
+        assert node_b.find_transaction(tx_hash) is not None
+        assert node_b.head_number() == node_a.head_number()
+
+    def test_state_at_and_chain_id(self, net):
+        node = FullNode(net.chain, name="n1")
+        assert node.chain_id() == 1337
+        assert node.state_at(0).balance_of(ALICE.address) == 10 * TOKEN
+
+    def test_get_header_by_hash(self, net):
+        node = FullNode(net.chain, name="n1")
+        net.advance_blocks(1)
+        header = net.chain.get_header(1)
+        assert node.get_header_by_hash(header.hash) == header
+        assert node.get_header_by_hash(b"\x00" * 32) is None
+
+
+class TestDevnet:
+    def test_execute_returns_result(self, net):
+        from repro.contracts import DEPOSIT_MODULE_ADDRESS
+
+        result = net.execute(ALICE, DEPOSIT_MODULE_ADDRESS, "deposit",
+                             value=TOKEN)
+        assert result.succeeded
+        assert result.gas_used > 21_000
+
+    def test_call_view_does_not_mutate(self, net):
+        from repro.contracts import DEPOSIT_MODULE_ADDRESS
+
+        root_before = net.chain.state.root_hash
+        net.call_view(DEPOSIT_MODULE_ADDRESS, "deposit_of", [ALICE.address])
+        assert net.chain.state.root_hash == root_before
+
+    def test_advance_blocks(self, net):
+        net.advance_blocks(5)
+        assert net.chain.height == 5
+
+    def test_sequential_transactions_same_sender(self, net):
+        """Devnet must queue multiple txs from one sender with right nonces."""
+        net.send_transaction(ALICE, BOB.address, value=1)
+        net.send_transaction(ALICE, BOB.address, value=2)
+        block = net.mine()
+        assert len(block.transactions) == 2
+        assert net.balance_of(BOB.address) == 3
+
+    def test_result_of_unknown(self, net):
+        assert net.result_of(b"\x00" * 32) is None
+
+    def test_contract_modules_deployed(self, net):
+        from repro.contracts import (
+            CHANNELS_MODULE_ADDRESS,
+            DEPOSIT_MODULE_ADDRESS,
+            FRAUD_MODULE_ADDRESS,
+        )
+
+        assert net.registry.get(DEPOSIT_MODULE_ADDRESS) is net.deposit_module
+        assert net.registry.get(CHANNELS_MODULE_ADDRESS) is net.channels_module
+        assert net.registry.get(FRAUD_MODULE_ADDRESS) is net.fraud_module

@@ -1,0 +1,156 @@
+"""RLP codec: official vectors, canonicality enforcement, typed sedes."""
+
+import pytest
+
+from repro.rlp import (
+    Binary,
+    CountableList,
+    ListSedes,
+    RLPError,
+    address_bytes,
+    big_endian_int,
+    decode,
+    decode_int,
+    deserialize,
+    encode,
+    encode_int,
+    hash32,
+    serialize,
+)
+
+LOREM = b"Lorem ipsum dolor sit amet, consectetur adipisicing elit"
+
+
+class TestOfficialVectors:
+    """Vectors from the Ethereum RLP specification."""
+
+    CASES = [
+        (b"", b"\x80"),
+        (b"\x00", b"\x00"),
+        (b"\x0f", b"\x0f"),
+        (b"\x7f", b"\x7f"),
+        (b"\x80", b"\x81\x80"),
+        (b"dog", b"\x83dog"),
+        (b"\x04\x00", b"\x82\x04\x00"),
+        (LOREM, b"\xb88" + LOREM),
+        ([], b"\xc0"),
+        ([b"cat", b"dog"], b"\xc8\x83cat\x83dog"),
+        ([[], [[]], [[], [[]]]], bytes.fromhex("c7c0c1c0c3c0c1c0")),
+    ]
+
+    @pytest.mark.parametrize("value,expected", CASES)
+    def test_encode(self, value, expected):
+        assert encode(value) == expected
+
+    @pytest.mark.parametrize("value,expected", CASES)
+    def test_decode(self, value, expected):
+        assert decode(expected) == value
+
+    def test_long_list(self):
+        value = [LOREM] * 10
+        assert decode(encode(value)) == value
+
+    def test_long_string_boundary_55_56(self):
+        for n in (54, 55, 56, 57):
+            data = b"a" * n
+            assert decode(encode(data)) == data
+
+
+class TestIntegers:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 255, 256, 2 ** 64, 2 ** 256 - 1])
+    def test_roundtrip(self, value):
+        assert decode_int(encode_int(value)) == value
+
+    def test_zero_is_empty(self):
+        assert encode_int(0) == b""
+
+    def test_negative_rejected(self):
+        with pytest.raises(RLPError):
+            encode_int(-1)
+
+    def test_leading_zero_rejected(self):
+        with pytest.raises(RLPError):
+            decode_int(b"\x00\x01")
+
+
+class TestCanonicality:
+    """Malformed or non-minimal encodings must be rejected, not normalized."""
+
+    def test_trailing_bytes(self):
+        with pytest.raises(RLPError):
+            decode(b"\x83dog!")
+
+    def test_truncated_string(self):
+        with pytest.raises(RLPError):
+            decode(b"\x85dog")
+
+    def test_truncated_list(self):
+        with pytest.raises(RLPError):
+            decode(b"\xc8\x83cat")
+
+    def test_non_canonical_single_byte(self):
+        with pytest.raises(RLPError):
+            decode(b"\x81\x05")  # 0x05 must encode as itself
+
+    def test_non_canonical_long_form_length(self):
+        # length 3 must use the short form, not the long form
+        with pytest.raises(RLPError):
+            decode(b"\xb8\x03dog")
+
+    def test_length_field_leading_zero(self):
+        with pytest.raises(RLPError):
+            decode(b"\xb9\x00\x38" + LOREM)
+
+    def test_empty_input(self):
+        with pytest.raises(RLPError):
+            decode(b"")
+
+    def test_rejects_raw_int_encode(self):
+        with pytest.raises(RLPError):
+            encode(5)  # type: ignore[arg-type]
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(RLPError):
+            encode(3.14)  # type: ignore[arg-type]
+
+
+class TestSedes:
+    def test_int_sedes_roundtrip(self):
+        assert deserialize(big_endian_int, serialize(big_endian_int, 1234)) == 1234
+
+    def test_int_sedes_width_bound(self):
+        from repro.rlp.sedes import BigEndianInt
+
+        narrow = BigEndianInt(max_bytes=2)
+        with pytest.raises(RLPError):
+            serialize(narrow, 2 ** 17)
+
+    def test_binary_exact(self):
+        with pytest.raises(RLPError):
+            serialize(hash32, b"\x00" * 31)
+        assert deserialize(hash32, serialize(hash32, b"\x11" * 32)) == b"\x11" * 32
+
+    def test_address_sedes(self):
+        assert deserialize(address_bytes, serialize(address_bytes, b"\x22" * 20)) == b"\x22" * 20
+
+    def test_countable_list(self):
+        numbers = CountableList(big_endian_int)
+        assert deserialize(numbers, serialize(numbers, [1, 2, 3])) == [1, 2, 3]
+
+    def test_struct_sedes(self):
+        struct = ListSedes(big_endian_int, Binary(), hash32)
+        value = (7, b"blob", b"\x33" * 32)
+        assert deserialize(struct, serialize(struct, value)) == value
+
+    def test_struct_field_count_enforced(self):
+        struct = ListSedes(big_endian_int, Binary())
+        with pytest.raises(RLPError):
+            serialize(struct, (1,))
+        with pytest.raises(RLPError):
+            deserialize(struct, encode([b"\x01", b"x", b"extra"]))
+
+    def test_type_errors(self):
+        with pytest.raises(RLPError):
+            serialize(big_endian_int, "not an int")
+        with pytest.raises(RLPError):
+            serialize(Binary(), 42)

@@ -1,0 +1,152 @@
+"""Discrete-event network: clocks, latency, delivery, loss, partitions."""
+
+import pytest
+
+from repro.net import (
+    FixedLatency,
+    NetworkError,
+    PairwiseLatency,
+    SimClock,
+    SimNetwork,
+    UniformLatency,
+)
+
+
+class Recorder:
+    def __init__(self):
+        self.received = []
+
+    def on_message(self, src, payload):
+        self.received.append((src, payload))
+
+
+class TestSimClock:
+    def test_advances(self):
+        clock = SimClock()
+        clock.advance(1.5)
+        assert clock.now() == 1.5
+        clock.advance_to(3.0)
+        assert clock() == 3.0
+
+    def test_rejects_rewind(self):
+        clock = SimClock(10.0)
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+        with pytest.raises(ValueError):
+            clock.advance_to(5.0)
+
+
+class TestLatencyModels:
+    def test_fixed(self):
+        model = FixedLatency(0.02)
+        assert model.delay("a", "b", 100) == 0.02
+
+    def test_fixed_with_bandwidth(self):
+        model = FixedLatency(0.01, bytes_per_second=1000)
+        assert model.delay("a", "b", 500) == pytest.approx(0.51)
+
+    def test_uniform_bounds_and_determinism(self):
+        model = UniformLatency(0.01, 0.05, seed=3)
+        samples = [model.delay("a", "b", 0) for _ in range(50)]
+        assert all(0.01 <= s <= 0.05 for s in samples)
+        again = UniformLatency(0.01, 0.05, seed=3)
+        assert samples[0] == again.delay("a", "b", 0)
+
+    def test_pairwise(self):
+        model = PairwiseLatency({("eu", "us"): 0.08}, default=0.01)
+        assert model.delay("eu", "us", 0) == 0.08
+        assert model.delay("us", "eu", 0) == 0.08  # symmetric fallback
+        assert model.delay("eu", "asia", 0) == 0.01
+
+
+class TestDelivery:
+    def test_message_arrives_after_latency(self):
+        net = SimNetwork(latency=FixedLatency(0.5))
+        sink = Recorder()
+        net.register("a", Recorder())
+        net.register("b", sink)
+        net.send("a", "b", "hello")
+        net.run_until(0.4)
+        assert sink.received == []
+        net.run_until(0.6)
+        assert sink.received == [("a", "hello")]
+
+    def test_fifo_per_link_with_fixed_latency(self):
+        net = SimNetwork(latency=FixedLatency(0.1))
+        sink = Recorder()
+        net.register("a", Recorder())
+        net.register("b", sink)
+        for i in range(5):
+            net.send("a", "b", i)
+        net.run()
+        assert [p for _, p in sink.received] == [0, 1, 2, 3, 4]
+
+    def test_unknown_destination(self):
+        net = SimNetwork()
+        net.register("a", Recorder())
+        with pytest.raises(NetworkError):
+            net.send("a", "ghost", "x")
+
+    def test_duplicate_registration(self):
+        net = SimNetwork()
+        net.register("a", Recorder())
+        with pytest.raises(NetworkError):
+            net.register("a", Recorder())
+
+    def test_stats(self):
+        net = SimNetwork(latency=FixedLatency(0.01))
+        net.register("a", Recorder())
+        net.register("b", Recorder())
+        net.send("a", "b", b"x" * 100)
+        net.run()
+        assert net.stats.messages_sent == 1
+        assert net.stats.messages_delivered == 1
+        assert net.stats.bytes_sent == 100
+
+
+class TestFailures:
+    def test_partition_drops(self):
+        net = SimNetwork()
+        sink = Recorder()
+        net.register("a", Recorder())
+        net.register("b", sink)
+        net.partition("a", "b")
+        net.send("a", "b", "lost")
+        net.run()
+        assert sink.received == []
+        assert net.stats.messages_dropped == 1
+        net.heal("a", "b")
+        net.send("a", "b", "found")
+        net.run()
+        assert sink.received == [("a", "found")]
+
+    def test_random_loss_is_deterministic_per_seed(self):
+        def run(seed):
+            net = SimNetwork(drop_rate=0.5, seed=seed)
+            sink = Recorder()
+            net.register("a", Recorder())
+            net.register("b", sink)
+            for i in range(100):
+                net.send("a", "b", i)
+            net.run()
+            return len(sink.received)
+
+        assert run(1) == run(1)
+        assert 20 < run(1) < 80  # roughly half survive
+
+    def test_run_while_timeout(self):
+        net = SimNetwork()
+        net.register("a", Recorder())
+        done = net.run_while(lambda: True, timeout=0.25)
+        assert done is False
+        assert net.clock.now() == pytest.approx(0.25)
+
+    def test_scheduled_actions(self):
+        net = SimNetwork()
+        fired = []
+        net.schedule(1.0, lambda: fired.append("late"))
+        net.schedule(0.5, lambda: fired.append("early"))
+        net.run()
+        assert fired == ["early", "late"]
+        with pytest.raises(NetworkError):
+            net.schedule(-1, lambda: None)

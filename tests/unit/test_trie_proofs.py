@@ -1,0 +1,159 @@
+"""Merkle proofs: inclusion, exclusion, and tamper resistance.
+
+These are the exact objects PARP responses carry (π_γ) and the FDM verifies
+on-chain, so the adversarial cases here are load-bearing for the protocol's
+security claims.
+"""
+
+import pytest
+
+from repro.crypto import keccak256
+from repro.rlp import encode_int
+from repro.trie import (
+    EMPTY_TRIE_ROOT,
+    MerklePatriciaTrie,
+    ProofError,
+    generate_proof,
+    proof_size,
+    verify_proof,
+)
+
+
+@pytest.fixture(scope="module")
+def populated():
+    trie = MerklePatriciaTrie()
+    items = {keccak256(encode_int(i + 1)): encode_int(i + 1000) for i in range(128)}
+    trie.update(items)
+    return trie, items
+
+
+class TestInclusion:
+    def test_every_key_provable(self, populated):
+        trie, items = populated
+        for key, value in list(items.items())[:16]:
+            proof = generate_proof(trie, key)
+            assert verify_proof(trie.root_hash, key, proof) == value
+
+    def test_proof_size_positive(self, populated):
+        trie, items = populated
+        key = next(iter(items))
+        proof = generate_proof(trie, key)
+        assert proof_size(proof) == sum(len(n) for n in proof) > 0
+
+    def test_single_entry_trie(self):
+        trie = MerklePatriciaTrie()
+        trie.put(b"solo", b"value")
+        proof = generate_proof(trie, b"solo")
+        assert verify_proof(trie.root_hash, b"solo", proof) == b"value"
+
+    def test_proof_with_inline_nodes(self):
+        """Small sibling nodes are inlined in parents; proofs must still verify."""
+        trie = MerklePatriciaTrie()
+        trie.put(b"\x01", b"a")   # tiny leaves encode under 32 bytes
+        trie.put(b"\x02", b"b")
+        proof = generate_proof(trie, b"\x01")
+        assert verify_proof(trie.root_hash, b"\x01", proof) == b"a"
+
+
+class TestExclusion:
+    def test_absent_key_proof(self, populated):
+        trie, _ = populated
+        absent = keccak256(b"definitely-not-present")
+        proof = generate_proof(trie, absent)
+        assert verify_proof(trie.root_hash, absent, proof) is None
+
+    def test_empty_trie_exclusion(self):
+        assert verify_proof(EMPTY_TRIE_ROOT, b"anything", []) is None
+
+    def test_empty_trie_rejects_nonempty_proof(self):
+        with pytest.raises(ProofError):
+            verify_proof(EMPTY_TRIE_ROOT, b"k", [b"\x80"])
+
+    def test_diverging_leaf_exclusion(self):
+        trie = MerklePatriciaTrie()
+        trie.put(b"abcdef", b"1")
+        proof = generate_proof(trie, b"abcdeg")
+        assert verify_proof(trie.root_hash, b"abcdeg", proof) is None
+
+
+class TestTamperResistance:
+    """Every forgery mode the fraud-proof protocol must catch."""
+
+    def test_flipped_byte_in_node(self, populated):
+        trie, items = populated
+        key = next(iter(items))
+        proof = generate_proof(trie, key)
+        for index in range(len(proof)):
+            tampered = list(proof)
+            node = bytearray(tampered[index])
+            node[len(node) // 2] ^= 0x01
+            tampered[index] = bytes(node)
+            with pytest.raises(ProofError):
+                verify_proof(trie.root_hash, key, tampered)
+
+    def test_missing_node(self, populated):
+        trie, items = populated
+        key = next(iter(items))
+        proof = generate_proof(trie, key)
+        if len(proof) > 1:
+            with pytest.raises(ProofError):
+                verify_proof(trie.root_hash, key, proof[:-1])
+
+    def test_wrong_root(self, populated):
+        trie, items = populated
+        key = next(iter(items))
+        proof = generate_proof(trie, key)
+        with pytest.raises(ProofError):
+            verify_proof(keccak256(b"evil root"), key, proof)
+
+    def test_proof_for_other_key_fails_or_excludes(self, populated):
+        """A proof for key A presented for key B must not prove B's value."""
+        trie, items = populated
+        keys = list(items)
+        proof_a = generate_proof(trie, keys[0])
+        try:
+            result = verify_proof(trie.root_hash, keys[1], proof_a)
+        except ProofError:
+            return  # missing-node rejection: fine
+        assert result != items[keys[1]] or result is None
+
+    def test_value_swap_detected(self):
+        """Re-rooting a modified leaf must change every hash up the path."""
+        trie = MerklePatriciaTrie()
+        trie.update({b"k1": b"honest", b"k2": b"other"})
+        honest_root = trie.root_hash
+        evil = MerklePatriciaTrie()
+        evil.update({b"k1": b"forged", b"k2": b"other"})
+        forged_proof = generate_proof(evil, b"k1")
+        with pytest.raises(ProofError):
+            verify_proof(honest_root, b"k1", forged_proof)
+
+    def test_garbage_nodes_rejected(self):
+        trie = MerklePatriciaTrie()
+        trie.put(b"k", b"v")
+        with pytest.raises(ProofError):
+            verify_proof(trie.root_hash, b"k", [b"\xde\xad\xbe\xef"])
+
+    def test_undecodable_node_rejected(self, populated):
+        trie, items = populated
+        key = next(iter(items))
+        proof = generate_proof(trie, key)
+        # replace the final node with bytes that hash right... impossible —
+        # so replace with garbage of a *different* hash and expect missing-node.
+        with pytest.raises(ProofError):
+            verify_proof(trie.root_hash, key, proof[:-1] + [b"\xff" * 40])
+
+
+class TestProofSizeShape:
+    """Fig. 6 foundations: proof size grows with trie size, dips for short
+    keys (RLP index encoding), and is dominated by branch nodes."""
+
+    def test_grows_with_population(self):
+        sizes = []
+        for population in (4, 64, 512):
+            trie = MerklePatriciaTrie()
+            for i in range(population):
+                trie.put(keccak256(encode_int(i + 1)), b"v" * 10)
+            probe = keccak256(encode_int(1))
+            sizes.append(proof_size(generate_proof(trie, probe)))
+        assert sizes[0] < sizes[1] < sizes[2]
