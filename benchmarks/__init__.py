@@ -1,0 +1,1 @@
+"""Paper-reproduction benchmarks (run explicitly: ``pytest benchmarks/``)."""

@@ -1,5 +1,6 @@
-"""Measurement utilities: step timers, resource probes, table rendering."""
+"""Measurement utilities: step timers, caches, resource probes, tables."""
 
+from .cache import CacheStats, LRUCache
 from .resources import ResourceProbe, ResourceSample
 from .tables import render_series, render_table
 from .timers import StepStats, StepTimer
@@ -7,6 +8,8 @@ from .timers import StepStats, StepTimer
 __all__ = [
     "StepTimer",
     "StepStats",
+    "CacheStats",
+    "LRUCache",
     "ResourceProbe",
     "ResourceSample",
     "render_table",

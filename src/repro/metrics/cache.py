@@ -1,0 +1,83 @@
+"""A counting LRU cache for hot serving state.
+
+The PARP server keeps recently generated (result, proof) pairs and hot trie
+nodes behind one of these: a dApp that hammers the same keys between blocks
+costs the node one trie walk instead of thousands.  Hit/miss/eviction
+counters feed the serving-throughput analysis (Fig. 7 territory) the same
+way :class:`~repro.metrics.timers.StepTimer` feeds Table III.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Generic, Hashable, Optional, TypeVar
+
+__all__ = ["CacheStats", "LRUCache"]
+
+V = TypeVar("V")
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from cache (0.0 when untouched)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def format_line(self) -> str:
+        return (
+            f"hits={self.hits} misses={self.misses} "
+            f"evictions={self.evictions} hit_rate={self.hit_rate:.1%}"
+        )
+
+
+@dataclass
+class LRUCache(Generic[V]):
+    """Least-recently-used mapping with a fixed capacity and counters."""
+
+    capacity: int = 1024
+    stats: CacheStats = field(default_factory=CacheStats)
+    _entries: "OrderedDict[Hashable, V]" = field(default_factory=OrderedDict)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("cache capacity must be positive")
+
+    def get(self, key: Hashable) -> Optional[V]:
+        """Return the cached value (refreshing recency), or None on a miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def put(self, key: Hashable, value: V) -> None:
+        """Insert/refresh ``key``, evicting the LRU entry when full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries  # no counter side effects
+
+    def __len__(self) -> int:
+        return len(self._entries)

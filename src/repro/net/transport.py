@@ -49,6 +49,7 @@ class SimServerBinding:
     _ALLOWED = frozenset({
         "handshake", "open_channel", "serve_request", "relay_transaction",
         "get_transaction_count", "serve_header", "serve_head_number",
+        "serve_batch", "batch_protocol_version",
     })
 
     def __init__(self, network: SimNetwork, name: str,
@@ -128,6 +129,12 @@ class SimEndpoint:
 
     def serve_request(self, wire: bytes) -> bytes:
         return self._invoke("serve_request", wire)
+
+    def serve_batch(self, wire: bytes) -> bytes:
+        return self._invoke("serve_batch", wire)
+
+    def batch_protocol_version(self) -> int:
+        return self._invoke("batch_protocol_version")
 
     def relay_transaction(self, raw_tx: bytes) -> bytes:
         return self._invoke("relay_transaction", raw_tx)

@@ -20,6 +20,7 @@ _EXPORTS = {
     "LightClientSession": "client", "ServerEndpoint": "client",
     "RequestOutcome": "client", "SessionError": "client",
     "InvalidResponse": "client", "FraudDetected": "client",
+    "BatchItem": "client", "BatchOutcome": "client",
     # server
     "FullNodeServer": "server", "ServeError": "server", "ServerStats": "server",
     # channel state
@@ -29,6 +30,7 @@ _EXPORTS = {
     "OpenChannelReceipt": "handshake", "HandshakeError": "handshake",
     # messages
     "PARPRequest": "messages", "PARPResponse": "messages", "RpcCall": "messages",
+    "BatchRequest": "messages", "BatchResponse": "messages",
     "ResponseStatus": "messages", "MessageError": "messages",
     # pricing
     "FeeSchedule": "pricing", "FlatFeeSchedule": "pricing",
@@ -38,12 +40,17 @@ _EXPORTS = {
     "WitnessService": "fraudproof", "build_fraud_package": "fraudproof",
     # verification
     "VerificationReport": "verification", "classify_response": "verification",
+    "classify_batch_response": "verification",
     # states
     "LightClientState": "states", "FullNodeState": "states",
     "ChannelStatus": "states", "ResponseClass": "states",
     # constants
     "MIN_FULL_NODE_DEPOSIT": "constants", "DISPUTE_WINDOW_BLOCKS": "constants",
     "REQUEST_OVERHEAD_BYTES": "constants", "RESPONSE_OVERHEAD_BYTES": "constants",
+    "BATCH_PROTOCOL_VERSION": "constants",
+    # proof of serving
+    "ServingReceipt": "proof_of_serving", "ReceiptValidator": "proof_of_serving",
+    "EpochClaim": "proof_of_serving", "RewardPool": "proof_of_serving",
 }
 
 __all__ = sorted(_EXPORTS)

@@ -81,15 +81,21 @@ class ServerChannel:
     latest_amount: int = 0
     latest_sig: Optional[bytes] = None
     requests_served: int = 0
+    #: individual queries answered — a batch of N counts N here but only one
+    #: ``requests_served`` channel update (the batched-serving economy).
+    queries_served: int = 0
     closed: bool = False
 
     def accept_request_payment(self, request: PARPRequest,
-                               min_increment: int) -> None:
+                               min_increment: int, queries: int = 1) -> None:
         """Validate the payment carried by a request, then bank it.
 
         Checks (server step (B)): channel match, monotone cumulative amount
         covering the fee, within budget, and a payment signature that
-        recovers to the channel's light client.
+        recovers to the channel's light client.  ``queries`` is how many
+        individual queries this one channel update pays for (N for a batch);
+        any request-shaped message carrying (α, a, σ_a) is accepted, so
+        :class:`~repro.parp.messages.BatchRequest` banks the same way.
         """
         if self.closed:
             raise ChannelError("channel is closed")
@@ -114,6 +120,7 @@ class ServerChannel:
         self.latest_amount = request.a
         self.latest_sig = request.sig_a
         self.requests_served += 1
+        self.queries_served += queries
 
     @property
     def earned(self) -> int:

@@ -19,7 +19,7 @@ The paid request path (§IV-E.3, steps (A) and (D) of Fig. 5):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Optional, Protocol
+from typing import Any, Optional, Protocol, Sequence
 
 from ..chain.header import BlockHeader
 from ..chain.transaction import Transaction, UnsignedTransaction
@@ -30,14 +30,30 @@ from ..lightclient.sync import HeaderSyncer, SyncError
 from ..rlp import codec as rlp
 from ..vm.abi import encode_call
 from .channel import ChannelError, ClientChannel
-from .constants import DEFAULT_HANDSHAKE_EXPIRY_SECONDS, MAX_AMOUNT
+from .constants import (
+    BATCH_PROTOCOL_VERSION,
+    DEFAULT_HANDSHAKE_EXPIRY_SECONDS,
+    MAX_AMOUNT,
+)
 from .fraudproof import FraudProofError, FraudProofPackage, build_fraud_package
 from .handshake import Handshake, HandshakeConfirm, HandshakeError, OpenChannelReceipt
-from .messages import MessageError, PARPRequest, PARPResponse, RpcCall
+from .messages import (
+    BatchRequest,
+    BatchResponse,
+    MessageError,
+    PARPRequest,
+    PARPResponse,
+    ResponseStatus,
+    RpcCall,
+)
 from .pricing import DEFAULT_FEE_SCHEDULE, FeeSchedule
 from .queries import decode_balance, decode_inclusion, decode_int_result
 from .states import LightClientState, ResponseClass
-from .verification import VerificationReport, classify_response
+from .verification import (
+    VerificationReport,
+    classify_batch_response,
+    classify_response,
+)
 
 __all__ = [
     "ServerEndpoint",
@@ -45,6 +61,8 @@ __all__ = [
     "InvalidResponse",
     "FraudDetected",
     "RequestOutcome",
+    "BatchItem",
+    "BatchOutcome",
     "LightClientSession",
 ]
 
@@ -64,6 +82,10 @@ class ServerEndpoint(Protocol):
     def get_transaction_count(self, address: Address) -> int: ...
     def serve_header(self, number: int) -> Optional[BlockHeader]: ...
     def serve_head_number(self) -> int: ...
+    # Batch extension — optional: clients probe ``batch_protocol_version``
+    # via getattr and fall back to per-key ``serve_request`` when absent.
+    def serve_batch(self, wire: bytes) -> bytes: ...
+    def batch_protocol_version(self) -> int: ...
 
 
 class SessionError(Exception):
@@ -99,6 +121,35 @@ class RequestOutcome:
     amount_paid: int          # cumulative a after this request
 
 
+@dataclass(frozen=True)
+class BatchItem:
+    """One verified query out of a batch."""
+
+    call: RpcCall
+    status: int
+    result: bytes
+    report: VerificationReport
+
+    @property
+    def ok(self) -> bool:
+        return self.status == ResponseStatus.OK
+
+
+@dataclass(frozen=True)
+class BatchOutcome:
+    """A verified batch round (or its per-key fallback)."""
+
+    items: tuple[BatchItem, ...]
+    report: VerificationReport
+    amount_paid: int          # cumulative a after the batch
+    batched: bool             # False when served via per-key fallback
+    request: Optional[BatchRequest] = None
+    response: Optional[BatchResponse] = None
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
 class LightClientSession:
     """One light client ↔ full node PARP connection."""
 
@@ -115,8 +166,9 @@ class LightClientSession:
         self.state = LightClientState.IDLE
         self.channel: Optional[ClientChannel] = None
         self.full_node: Optional[Address] = None
-        self.history: list[RequestOutcome] = []
+        self.history: list[RequestOutcome | BatchOutcome] = []
         self._clock = clock
+        self._batch_support: Optional[bool] = None  # memoized version probe
 
     @property
     def address(self) -> Address:
@@ -144,6 +196,7 @@ class LightClientSession:
         if not 0 < budget <= MAX_AMOUNT:
             raise SessionError("budget out of range")
 
+        self._batch_support = None  # re-probe per connection
         # line 4: fetch the latest block hash from the network
         self.headers.sync()
         # lines 5-8: HANDSHAKE, await HSCONFIRM
@@ -196,6 +249,7 @@ class LightClientSession:
         )
         self.full_node = full_node
         self.state = LightClientState.BONDED
+        self._batch_support = None  # re-probe per connection
 
     # ------------------------------------------------------------------ #
     # The paid request path (steps (A) and (D) of Fig. 5)
@@ -272,6 +326,149 @@ class LightClientSession:
         if report.classification is ResponseClass.INVALID:
             raise InvalidResponse(report)
         return outcome
+
+    # ------------------------------------------------------------------ #
+    # Batched queries (multiproof extension)
+    # ------------------------------------------------------------------ #
+
+    def batch_supported(self) -> bool:
+        """Probe (for free) whether the server speaks our batch version.
+
+        The answer cannot change while we stay bonded to one endpoint, so
+        the network round-trip happens at most once per session.
+        """
+        if self._batch_support is None:
+            self._batch_support = self._probe_batch_support()
+        return self._batch_support
+
+    def _probe_batch_support(self) -> bool:
+        probe = getattr(self.endpoint, "batch_protocol_version", None)
+        if probe is None:
+            return False
+        try:
+            return probe() == BATCH_PROTOCOL_VERSION
+        except Exception:  # noqa: BLE001 — any probe failure means "don't batch"
+            return False
+
+    def query_batch(self, calls: Sequence[RpcCall], tip: int = 0) -> BatchOutcome:
+        """N queries, one payment, one multiproof — the batched request path.
+
+        Builds and signs a single :class:`BatchRequest` covering ``calls``,
+        advances the channel once by the batch price, and verifies the
+        response's shared multiproof item by item.  When the server does not
+        speak our batch protocol version (probed for free beforehand, so no
+        signed payment is wasted), falls back transparently to sequential
+        per-key requests with identical verification guarantees.
+        """
+        if self.state is not LightClientState.BONDED or self.channel is None:
+            raise SessionError(f"no bonded channel (state={self.state.value})")
+        calls = tuple(calls)
+        if not calls:
+            raise SessionError("a batch needs at least one call")
+        if not self.batch_supported():
+            return self._batch_fallback(calls, tip)
+        price = self.fee_schedule.batch_price(calls) + tip
+        try:
+            amount = self.channel.next_amount(price)
+        except ChannelError as exc:
+            raise SessionError(str(exc)) from exc
+
+        request = self.build_batch_request(calls, amount)
+        self.channel.record_request(amount)
+        try:
+            raw = self.endpoint.serve_batch(request.encode_wire())
+        except Exception as exc:
+            raise InvalidResponse(VerificationReport(
+                ResponseClass.INVALID, "transport", str(exc),
+            )) from exc
+        return self.process_batch_response(request, raw)
+
+    def build_batch_request(self, calls: Sequence[RpcCall],
+                            amount: int) -> BatchRequest:
+        """Step (A) for a batch: pin h_B and doubly sign once for N calls."""
+        return BatchRequest.build(
+            alpha=self.channel.alpha, h_b=self.headers.tip.hash,
+            amount=amount, calls=calls, key=self.key,
+            version=BATCH_PROTOCOL_VERSION,
+        )
+
+    def process_batch_response(self, request: BatchRequest,
+                               raw: bytes) -> BatchOutcome:
+        """Step (D) for a batch: decode, header-sync, classify per item."""
+        try:
+            response = BatchResponse.decode_wire(raw)
+        except MessageError as exc:
+            raise InvalidResponse(VerificationReport(
+                ResponseClass.INVALID, "decode", str(exc),
+            )) from exc
+
+        request_height = self.headers.height_of(request.h_b)
+        if request_height is None:
+            raise SessionError("batch pinned a header we no longer track")
+        try:
+            if response.m_b > self.headers.chain.tip_number:
+                self.headers.sync_to(response.m_b)
+        except SyncError:
+            pass  # classification will mark it unverifiable/invalid
+
+        report, item_reports = classify_batch_response(
+            request, response, self.channel.alpha, self.full_node,
+            request_height, self.headers.get_header,
+        )
+        items = tuple(
+            BatchItem(call=call, status=response.statuses[i],
+                      result=response.results[i], report=item_reports[i])
+            for i, call in enumerate(request.calls)
+        ) if item_reports else ()
+        outcome = BatchOutcome(
+            items=items, report=report, amount_paid=request.a,
+            batched=True, request=request, response=response,
+        )
+        self.history.append(outcome)
+
+        if report.classification is ResponseClass.FRAUD:
+            # Batch fraud blobs are not yet understood by the on-chain FDM
+            # (Algorithm 2 decodes single responses), so terminate and fail
+            # over without a package; the channel dispute path still protects
+            # the payment itself.
+            self.state = LightClientState.UNBONDING
+            raise FraudDetected(report, None)
+        if report.classification is ResponseClass.INVALID:
+            raise InvalidResponse(report)
+        return outcome
+
+    def _batch_fallback(self, calls: tuple[RpcCall, ...],
+                        tip: int) -> BatchOutcome:
+        """Per-key service for servers without batch support: same checks,
+        N channel updates, N stand-alone proofs."""
+        items = []
+        amount_paid = self.channel.spent
+        for call in calls:
+            outcome = self.request(call.method, *call.params, tip=tip)
+            tip = 0  # a tip, if any, is paid once per batch
+            amount_paid = outcome.amount_paid
+            items.append(BatchItem(
+                call=call, status=outcome.response.status,
+                result=outcome.response.result, report=outcome.report,
+            ))
+        return BatchOutcome(
+            items=tuple(items),
+            report=VerificationReport(ResponseClass.VALID, "all-checks"),
+            amount_paid=amount_paid, batched=False,
+        )
+
+    def get_balances(self, addresses: Sequence[Address]) -> list[int]:
+        """Batched convenience: balances of many accounts in one round."""
+        calls = [RpcCall.create("eth_getBalance", a) for a in addresses]
+        outcome = self.query_batch(calls)
+        balances = []
+        for item in outcome.items:
+            if not item.ok:
+                raise SessionError(
+                    f"balance query failed for {item.call.params[0].hex()}"
+                )
+            balances.append(decode_balance(item.result))
+        return balances
 
     def _try_build_package(self, request: PARPRequest,
                            response: PARPResponse) -> Optional[FraudProofPackage]:

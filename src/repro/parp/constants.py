@@ -21,6 +21,9 @@ __all__ = [
     "STATUS_BYTES",
     "REQUEST_OVERHEAD_BYTES",
     "RESPONSE_OVERHEAD_BYTES",
+    "BATCH_PROTOCOL_VERSION",
+    "BATCH_REQUEST_OVERHEAD_BYTES",
+    "BATCH_RESPONSE_OVERHEAD_BYTES",
     "MAX_AMOUNT",
     "MIN_FULL_NODE_DEPOSIT",
     "DISPUTE_WINDOW_BLOCKS",
@@ -50,6 +53,16 @@ RESPONSE_OVERHEAD_BYTES = (
 )  # = 187
 
 MAX_AMOUNT = (1 << (8 * AMOUNT_BYTES)) - 1
+
+# -- batched queries (multiproof extension) -------------------------------- #
+#: version of the batch sub-protocol; a client only batches against a server
+#: advertising the same version, and falls back to per-key queries otherwise.
+BATCH_PROTOCOL_VERSION = 1
+#: batch request metadata: version(1) ‖ the 226 bytes of a single request.
+BATCH_REQUEST_OVERHEAD_BYTES = 1 + REQUEST_OVERHEAD_BYTES  # = 227
+#: batch response metadata layout matches a single response (187 bytes); the
+#: per-item statuses/results/multiproof travel in the RLP payload.
+BATCH_RESPONSE_OVERHEAD_BYTES = RESPONSE_OVERHEAD_BYTES
 
 # -- economics ------------------------------------------------------------- #
 WEI_PER_TOKEN = 10 ** 18

@@ -32,6 +32,8 @@ from ..rlp import codec as rlp
 from .constants import (
     ALPHA_BYTES,
     AMOUNT_BYTES,
+    BATCH_REQUEST_OVERHEAD_BYTES,
+    BATCH_RESPONSE_OVERHEAD_BYTES,
     HASH_BYTES,
     HEIGHT_BYTES,
     MAX_AMOUNT,
@@ -46,12 +48,15 @@ __all__ = [
     "RpcCall",
     "PARPRequest",
     "PARPResponse",
+    "BatchRequest",
+    "BatchResponse",
     "ResponseStatus",
     "payment_digest",
     "payment_preimage",
     "handshake_digest",
     "handshake_preimage",
     "request_digest",
+    "batch_request_digest",
     "response_digest",
     "response_preimage",
 ]
@@ -110,6 +115,22 @@ def request_digest(alpha: bytes, h_b: bytes, amount: int, call_bytes: bytes) -> 
     if len(alpha) != ALPHA_BYTES or len(h_b) != HASH_BYTES:
         raise MessageError("bad α or h_B length in request digest")
     return keccak256(alpha + h_b + _encode_amount(amount) + call_bytes)
+
+
+def batch_request_digest(alpha: bytes, h_b: bytes, amount: int, version: int,
+                         calls_bytes: bytes) -> bytes:
+    """``h_req = Hash(α, h_B, a, v, rlp([γ_1 … γ_N]))`` for a batch.
+
+    The version byte is bound into the digest so a server cannot silently
+    downgrade the batch semantics the client signed for.
+    """
+    if len(alpha) != ALPHA_BYTES or len(h_b) != HASH_BYTES:
+        raise MessageError("bad α or h_B length in batch request digest")
+    if not 0 <= version < 256:
+        raise MessageError(f"batch protocol version {version} out of u8 range")
+    return keccak256(
+        alpha + h_b + _encode_amount(amount) + bytes([version]) + calls_bytes
+    )
 
 
 def response_preimage(alpha: bytes, status: int, m_b: int, amount: int,
@@ -419,3 +440,265 @@ class PARPResponse:
     def with_result(self, result: bytes) -> "PARPResponse":
         """A tampered copy (used by tests and the malicious-node examples)."""
         return replace(self, result=result)
+
+
+# --------------------------------------------------------------------------- #
+# Batched queries (multiproof extension)
+# --------------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class BatchRequest:
+    """N RPC calls paid for by ONE channel update.
+
+    Structurally a :class:`PARPRequest` whose γ is a *list* of calls and whose
+    metadata is prefixed by a batch-protocol version byte.  The cumulative
+    amount ``a`` covers the whole batch, so the channel advances once no
+    matter how many keys the dApp fetches — and the server answers with one
+    deduplicated multiproof instead of N overlapping proofs.
+    """
+
+    version: int
+    alpha: bytes
+    h_b: bytes
+    a: int
+    calls: tuple[RpcCall, ...]
+    h_req: bytes
+    sig_a: bytes
+    sig_req: bytes
+
+    @staticmethod
+    def _calls_bytes(calls: Sequence[RpcCall]) -> bytes:
+        return rlp.encode([call.encode() for call in calls])
+
+    @classmethod
+    def build(cls, alpha: bytes, h_b: bytes, amount: int,
+              calls: Sequence[RpcCall], key: PrivateKey,
+              version: int) -> "BatchRequest":
+        """Construct and sign a batch request (light-client side)."""
+        if not calls:
+            raise MessageError("a batch must contain at least one call")
+        calls_bytes = cls._calls_bytes(calls)
+        h_req = batch_request_digest(alpha, h_b, amount, version, calls_bytes)
+        sig_a = key.sign(payment_digest(alpha, amount)).to_bytes()
+        sig_req = key.sign(h_req).to_bytes()
+        return cls(version=version, alpha=alpha, h_b=h_b, a=amount,
+                   calls=tuple(calls), h_req=h_req, sig_a=sig_a,
+                   sig_req=sig_req)
+
+    # -- wire ------------------------------------------------------------- #
+
+    def encode_wire(self) -> bytes:
+        """227 bytes of metadata followed by rlp([γ_1 … γ_N])."""
+        return (
+            bytes([self.version]) + self.alpha + self.h_b
+            + _encode_amount(self.a) + self.h_req + self.sig_a + self.sig_req
+            + self._calls_bytes(self.calls)
+        )
+
+    @classmethod
+    def decode_wire(cls, raw: bytes) -> "BatchRequest":
+        if len(raw) < BATCH_REQUEST_OVERHEAD_BYTES:
+            raise MessageError(
+                f"batch request too short: {len(raw)} < "
+                f"{BATCH_REQUEST_OVERHEAD_BYTES}"
+            )
+        pos = 0
+        version = raw[pos]; pos += 1
+        alpha = raw[pos:pos + ALPHA_BYTES]; pos += ALPHA_BYTES
+        h_b = raw[pos:pos + HASH_BYTES]; pos += HASH_BYTES
+        amount = int.from_bytes(raw[pos:pos + AMOUNT_BYTES], "big"); pos += AMOUNT_BYTES
+        h_req = raw[pos:pos + HASH_BYTES]; pos += HASH_BYTES
+        sig_a = raw[pos:pos + SIGNATURE_BYTES]; pos += SIGNATURE_BYTES
+        sig_req = raw[pos:pos + SIGNATURE_BYTES]; pos += SIGNATURE_BYTES
+        try:
+            item = rlp.decode(raw[pos:])
+        except rlp.RLPError as exc:
+            raise MessageError(f"undecodable batch call list: {exc}") from exc
+        if not isinstance(item, list) or not item:
+            raise MessageError("batch call list must be a non-empty rlp list")
+        calls = []
+        for encoded in item:
+            if not isinstance(encoded, bytes):
+                raise MessageError("batch calls must be rlp-encoded byte strings")
+            calls.append(RpcCall.decode(encoded))
+        return cls(version=version, alpha=alpha, h_b=h_b, a=amount,
+                   calls=tuple(calls), h_req=h_req, sig_a=sig_a,
+                   sig_req=sig_req)
+
+    # -- verification ------------------------------------------------------ #
+
+    def expected_digest(self) -> bytes:
+        return batch_request_digest(
+            self.alpha, self.h_b, self.a, self.version,
+            self._calls_bytes(self.calls),
+        )
+
+    def verify(self, expected_sender: Optional[Address] = None) -> Address:
+        """Full-node-side batch verification; mirrors PARPRequest.verify."""
+        if self.h_req != self.expected_digest():
+            raise MessageError("batch hash does not match batch contents")
+        try:
+            req_signer = recover_address(self.h_req, Signature.from_bytes(self.sig_req))
+            pay_signer = recover_address(
+                payment_digest(self.alpha, self.a), Signature.from_bytes(self.sig_a)
+            )
+        except SignatureError as exc:
+            raise MessageError(f"bad batch request signature: {exc}") from exc
+        if req_signer != pay_signer:
+            raise MessageError("batch and payment signed by different keys")
+        if expected_sender is not None and req_signer != expected_sender:
+            raise MessageError("batch signer is not the channel's light client")
+        return req_signer
+
+    @property
+    def wire_overhead(self) -> int:
+        return BATCH_REQUEST_OVERHEAD_BYTES
+
+    def __repr__(self) -> str:
+        return f"BatchRequest(v{self.version}, {len(self.calls)} calls)"
+
+
+@dataclass(frozen=True)
+class BatchResponse:
+    """The signed answer to a :class:`BatchRequest`.
+
+    Carries one status byte and one result payload per call, plus a single
+    *shared* proof-node pool: the deduplicated union of every per-call Merkle
+    proof (state, storage, transaction, and receipt trie nodes all resolve
+    by keccak hash from the same pool).  Signed exactly like a single
+    response, over ``payload = rlp([statuses, [R_1 …], [node_1 …]])``.
+    """
+
+    status: int                   # whole-batch status
+    m_b: int
+    a: int
+    statuses: tuple[int, ...]     # per-call statuses
+    results: tuple[bytes, ...]    # per-call R(γ_i)
+    proof: tuple[bytes, ...]      # shared multiproof node pool
+    h_req: bytes
+    sig_req: bytes
+    sig_res: bytes
+
+    @staticmethod
+    def _payload(statuses: Sequence[int], results: Sequence[bytes],
+                 proof: Sequence[bytes]) -> bytes:
+        return rlp.encode([bytes(statuses), list(results), list(proof)])
+
+    @classmethod
+    def build(cls, alpha: bytes, request: BatchRequest, m_b: int,
+              statuses: Sequence[int], results: Sequence[bytes],
+              proof: Sequence[bytes], key: PrivateKey,
+              status: int = ResponseStatus.OK) -> "BatchResponse":
+        """Construct and sign a batch response (full-node side)."""
+        if len(statuses) != len(results):
+            raise MessageError("per-call statuses and results disagree in length")
+        payload = cls._payload(statuses, results, proof)
+        h_res = response_digest(
+            alpha, status, m_b, request.a, payload, request.h_req,
+            request.sig_req,
+        )
+        return cls(
+            status=status, m_b=m_b, a=request.a, statuses=tuple(statuses),
+            results=tuple(results), proof=tuple(proof), h_req=request.h_req,
+            sig_req=request.sig_req, sig_res=key.sign(h_res).to_bytes(),
+        )
+
+    # -- digests ------------------------------------------------------------ #
+
+    def digest(self, alpha: bytes) -> bytes:
+        payload = self._payload(self.statuses, self.results, self.proof)
+        return response_digest(
+            alpha, self.status, self.m_b, self.a, payload, self.h_req,
+            self.sig_req,
+        )
+
+    def signer(self, alpha: bytes) -> Address:
+        try:
+            return recover_address(self.digest(alpha), Signature.from_bytes(self.sig_res))
+        except SignatureError as exc:
+            raise MessageError(f"bad batch response signature: {exc}") from exc
+
+    # -- per-item view ------------------------------------------------------ #
+
+    def item_view(self, index: int) -> PARPResponse:
+        """Item ``index`` shaped as a single response over the shared pool.
+
+        This is what lets the client (and any future on-chain batch FDM)
+        reuse the per-method verifiers of :mod:`repro.parp.queries`
+        unchanged: each item verifies against the same deduplicated node
+        pool that authenticated every other item.
+        """
+        return PARPResponse(
+            status=self.statuses[index], m_b=self.m_b, a=self.a,
+            result=self.results[index], proof=self.proof, h_req=self.h_req,
+            sig_req=self.sig_req, sig_res=self.sig_res,
+        )
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    # -- wire ------------------------------------------------------------- #
+
+    def encode_wire(self) -> bytes:
+        """187 bytes of metadata followed by rlp([statuses, results, proof])."""
+        return (
+            bytes([self.status]) + _encode_height(self.m_b)
+            + _encode_amount(self.a) + self.h_req + self.sig_req + self.sig_res
+            + self._payload(self.statuses, self.results, self.proof)
+        )
+
+    @classmethod
+    def decode_wire(cls, raw: bytes) -> "BatchResponse":
+        if len(raw) < BATCH_RESPONSE_OVERHEAD_BYTES:
+            raise MessageError(
+                f"batch response too short: {len(raw)} < "
+                f"{BATCH_RESPONSE_OVERHEAD_BYTES}"
+            )
+        pos = 0
+        status = raw[pos]; pos += STATUS_BYTES
+        m_b = int.from_bytes(raw[pos:pos + HEIGHT_BYTES], "big"); pos += HEIGHT_BYTES
+        amount = int.from_bytes(raw[pos:pos + AMOUNT_BYTES], "big"); pos += AMOUNT_BYTES
+        h_req = raw[pos:pos + HASH_BYTES]; pos += HASH_BYTES
+        sig_req = raw[pos:pos + SIGNATURE_BYTES]; pos += SIGNATURE_BYTES
+        sig_res = raw[pos:pos + SIGNATURE_BYTES]; pos += SIGNATURE_BYTES
+        try:
+            payload = rlp.decode(raw[pos:])
+        except rlp.RLPError as exc:
+            raise MessageError(f"undecodable batch payload: {exc}") from exc
+        if (not isinstance(payload, list) or len(payload) != 3
+                or not isinstance(payload[0], bytes)
+                or not isinstance(payload[1], list)
+                or not isinstance(payload[2], list)):
+            raise MessageError(
+                "batch payload must be rlp([statuses, results, proof])"
+            )
+        statuses = tuple(payload[0])
+        results = []
+        for result in payload[1]:
+            if not isinstance(result, bytes):
+                raise MessageError("batch results must be byte strings")
+            results.append(result)
+        proof_nodes = []
+        for node in payload[2]:
+            if not isinstance(node, bytes):
+                raise MessageError("proof nodes must be byte strings")
+            proof_nodes.append(node)
+        if len(statuses) != len(results):
+            raise MessageError("per-call statuses and results disagree in length")
+        return cls(status=status, m_b=m_b, a=amount, statuses=statuses,
+                   results=tuple(results), proof=tuple(proof_nodes),
+                   h_req=h_req, sig_req=sig_req, sig_res=sig_res)
+
+    # -- sizes (Table II / Fig. 6) ---------------------------------------- #
+
+    @property
+    def wire_overhead(self) -> int:
+        """Metadata bytes + shared multiproof bytes for the whole batch."""
+        proof_bytes = len(rlp.encode(list(self.proof))) if self.proof else 0
+        return BATCH_RESPONSE_OVERHEAD_BYTES + proof_bytes
+
+    def with_result(self, index: int, result: bytes) -> "BatchResponse":
+        """A tampered copy (tests and the malicious-node examples)."""
+        results = list(self.results)
+        results[index] = result
+        return replace(self, results=tuple(results))

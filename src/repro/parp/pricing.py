@@ -18,7 +18,7 @@ Prices are in wei of the channel's token.  The ablation bench
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Mapping, Sequence
 
 from .messages import RpcCall
 
@@ -52,6 +52,15 @@ class FeeSchedule:
     def price(self, call: RpcCall) -> int:
         raise NotImplementedError
 
+    def batch_price(self, calls: Sequence[RpcCall]) -> int:
+        """Price of serving ``calls`` as one batch (one channel update).
+
+        Defaults to the sum of the per-call prices; schedules may discount
+        batches because a batch amortises signature checks and dedups the
+        Merkle proof the server ships.
+        """
+        return sum(self.price(call) for call in calls)
+
     def describe(self) -> str:
         raise NotImplementedError
 
@@ -71,13 +80,27 @@ class FlatFeeSchedule(FeeSchedule):
 
 @dataclass(frozen=True)
 class CallBasedFeeSchedule(FeeSchedule):
-    """Per-method prices with a default for unlisted methods."""
+    """Per-method prices with a default for unlisted methods.
+
+    ``batch_rebate`` is a per-call discount applied to every call after the
+    first in a batch: batched calls share one wire round, two signature
+    verifications, and a deduplicated proof, so serving them costs the node
+    strictly less than N separate requests.
+    """
 
     prices: Mapping[str, int] = field(default_factory=lambda: dict(_DEFAULT_PRICES))
     default_price: int = 10 * GWEI
+    batch_rebate: int = 1 * GWEI
 
     def price(self, call: RpcCall) -> int:
         return self.prices.get(call.method, self.default_price)
+
+    def batch_price(self, calls: Sequence[RpcCall]) -> int:
+        total = sum(self.price(call) for call in calls)
+        if len(calls) > 1:
+            rebate = self.batch_rebate * (len(calls) - 1)
+            total = max(total - rebate, self.price(calls[0]))
+        return total
 
     def describe(self) -> str:
         return f"call-based({len(self.prices)} methods)"

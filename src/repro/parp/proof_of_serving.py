@@ -38,6 +38,9 @@ class ServingReceipt:
     light_client: Address
     amount: int          # cumulative a
     signature: bytes     # σ_a by the light client
+    #: individual queries the channel's updates paid for (batches count all
+    #: their items); 0 means "unreported" and disables per-query weighting.
+    queries: int = 0
 
     def verify_signature(self) -> bool:
         try:
@@ -63,6 +66,14 @@ class ReceiptValidator:
     channel_lookup: Callable[[bytes], Optional[tuple[Address, Address, int, int]]]
     min_budget: int = 0
     reputation: Optional[Callable[[Address], float]] = None
+    #: caps the weight a receipt earns per query it claims to have served.
+    #: The count is FN-self-reported (σ_a only covers (α, a)), so this is a
+    #: *soft* heuristic, not a proof: unreported counts are treated as one
+    #: query (maximally conservative), while an inflated count merely raises
+    #: the cap back toward the signature-backed ``amount`` — it can never
+    #: increase weight beyond it.  Complements ``min_budget``/``reputation``
+    #: against Sybil pairs shuttling large payments over few real queries.
+    max_wei_per_query: Optional[int] = None
 
     def weigh(self, receipt: ServingReceipt) -> float:
         """Weight of a receipt for reward purposes; 0 rejects it."""
@@ -79,6 +90,9 @@ class ReceiptValidator:
         if budget < self.min_budget or receipt.amount > budget:
             return 0.0
         weight = float(receipt.amount)
+        if self.max_wei_per_query is not None:
+            queries = max(receipt.queries, 1)  # unreported counts cap hardest
+            weight = min(weight, float(self.max_wei_per_query * queries))
         if self.reputation is not None:
             weight *= max(0.0, min(1.0, self.reputation(receipt.light_client)))
         return weight

@@ -25,12 +25,15 @@ from ..chain.transaction import Transaction, TransactionError
 from ..contracts.addresses import CHANNELS_MODULE_ADDRESS, FRAUD_MODULE_ADDRESS
 from ..crypto import keccak256
 from ..crypto.keys import Address, PrivateKey
+from ..metrics.cache import LRUCache
 from ..node.fullnode import FullNode
 from ..rlp import codec as rlp
 from .channel import ChannelError, ServerChannel
-from .constants import DEFAULT_HANDSHAKE_EXPIRY_SECONDS
+from .constants import BATCH_PROTOCOL_VERSION, DEFAULT_HANDSHAKE_EXPIRY_SECONDS
 from .handshake import Handshake, HandshakeConfirm, OpenChannelReceipt
 from .messages import (
+    BatchRequest,
+    BatchResponse,
     MessageError,
     PARPRequest,
     PARPResponse,
@@ -43,6 +46,19 @@ from .queries import QueryError, execute_query
 __all__ = ["ServeError", "ServerStats", "FullNodeServer"]
 
 _CHANNEL_OPENED_TOPIC = keccak256(b"ChannelOpened")
+
+#: write methods break the one-snapshot guarantee of a batch; they are the
+#: only calls a batch refuses (per-item, with a signed error).
+_NOT_BATCHABLE = frozenset({"eth_sendRawTransaction"})
+
+#: read methods whose (result, proof) is deterministic given the chain at a
+#: fixed height — safe to keep behind the proof LRU.
+_CACHEABLE_METHODS = frozenset({
+    "eth_getBalance",
+    "eth_getStorageAt",
+    "eth_getTransactionByBlockNumberAndIndex",
+    "eth_getTransactionReceipt",
+})
 
 
 class ServeError(Exception):
@@ -61,6 +77,8 @@ class ServerStats:
     channels_opened: int = 0
     requests_served: int = 0
     requests_rejected: int = 0
+    batches_served: int = 0
+    batch_queries_served: int = 0
     bytes_in: int = 0
     bytes_out: int = 0
     fees_earned: int = 0
@@ -72,6 +90,7 @@ class FullNodeServer:
     def __init__(self, node: FullNode,
                  fee_schedule: FeeSchedule = DEFAULT_FEE_SCHEDULE,
                  handshake_expiry: float = DEFAULT_HANDSHAKE_EXPIRY_SECONDS,
+                 proof_cache_size: int = 2048,
                  clock=None) -> None:
         self.node = node
         self.key = node.key
@@ -79,6 +98,9 @@ class FullNodeServer:
         self.handshake_expiry = handshake_expiry
         self.channels: dict[bytes, ServerChannel] = {}
         self.stats = ServerStats()
+        #: recent (result, proof) pairs keyed by (height, call): a dApp
+        #: re-reading hot keys between blocks skips the trie walk entirely.
+        self.proof_cache: LRUCache = LRUCache(capacity=proof_cache_size)
         self._clock = clock  # callable returning seconds; defaults to chain time
 
     @property
@@ -232,7 +254,7 @@ class FullNodeServer:
         else:
             try:
                 m_b = self.node.head_number()
-                result, proof = execute_query(self.node, call, m_b)
+                result, proof = self._execute_cached(call, m_b)
             except QueryError as exc:
                 return self._error_response(request, str(exc))
         m_b = self.node.head_number()  # sends advance the head to inclusion
@@ -256,10 +278,146 @@ class FullNodeServer:
     def _error_response(self, request: PARPRequest, message: str) -> PARPResponse:
         """A *signed* error: the client paid for the attempt and gets an
         attributable outcome (it cannot be forged by a third party)."""
-        result = rlp.encode([b"error", message.encode("utf-8")])
         return PARPResponse.build(
             alpha=request.alpha, request=request, m_b=self.node.head_number(),
-            result=result, proof=[], key=self.key, status=ResponseStatus.ERROR,
+            result=_error_result(message), proof=[], key=self.key,
+            status=ResponseStatus.ERROR,
+        )
+
+    def _execute_cached(self, call: RpcCall, m_b: int) -> tuple[bytes, list[bytes]]:
+        """Execute a query through the proof LRU when deterministic at m_b."""
+        if call.method not in _CACHEABLE_METHODS:
+            return execute_query(self.node, call, m_b)
+        cache_key = (m_b, call.encode())
+        cached = self.proof_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        result, proof = execute_query(self.node, call, m_b)
+        self.proof_cache.put(cache_key, (result, proof))
+        return result, proof
+
+    # ------------------------------------------------------------------ #
+    # Batched serving (multiproof extension)
+    # ------------------------------------------------------------------ #
+
+    def batch_protocol_version(self) -> int:
+        """Free capability probe: the batch sub-protocol this server speaks.
+
+        Clients compare this against their own
+        :data:`~repro.parp.constants.BATCH_PROTOCOL_VERSION` before batching
+        and fall back to per-key requests on a mismatch.
+        """
+        return BATCH_PROTOCOL_VERSION
+
+    def serve_batch(self, wire: bytes) -> bytes:
+        """Verify, execute, multiprove, and sign one batch of N queries.
+
+        All N queries run against one snapshot (the head at batch start),
+        their Merkle proofs are merged into one deduplicated node pool, and
+        the channel is billed with a single update — the whole point of
+        batching: metadata, signatures, and shared trie levels are paid for
+        once instead of N times.
+        """
+        self.stats.bytes_in += len(wire)
+        batch = self._verify_batch(wire)               # step (B), once
+        response = self._execute_batch_and_sign(batch)  # step (C), shared
+        out = response.encode_wire()
+        self.stats.bytes_out += len(out)
+        self.stats.batches_served += 1
+        self.stats.batch_queries_served += len(batch.calls)
+        return out
+
+    def _verify_batch(self, wire: bytes) -> BatchRequest:
+        try:
+            batch = BatchRequest.decode_wire(wire)
+        except MessageError as exc:
+            self.stats.requests_rejected += 1
+            raise ServeError(f"undecodable batch request: {exc}") from exc
+        if batch.version != BATCH_PROTOCOL_VERSION:
+            self.stats.requests_rejected += 1
+            raise ServeError(
+                f"unsupported batch protocol version {batch.version} "
+                f"(this server speaks {BATCH_PROTOCOL_VERSION})"
+            )
+        channel = self.channels.get(batch.alpha)
+        if channel is None:
+            self.stats.requests_rejected += 1
+            raise ServeError(f"unknown channel {batch.alpha.hex()}")
+        try:
+            batch.verify(expected_sender=channel.light_client)
+        except MessageError as exc:
+            self.stats.requests_rejected += 1
+            raise ServeError(f"batch verification failed: {exc}") from exc
+        price = self.fee_schedule.batch_price(batch.calls)
+        previous = channel.latest_amount
+        try:
+            channel.accept_request_payment(
+                batch, min_increment=price, queries=len(batch.calls),
+            )
+        except ChannelError as exc:
+            self.stats.requests_rejected += 1
+            raise ServeError(f"payment rejected: {exc}") from exc
+        self.stats.fees_earned += channel.latest_amount - previous
+        return batch
+
+    def _execute_batch_and_sign(self, batch: BatchRequest) -> BatchResponse:
+        if self.node.chain.get_block_by_hash(batch.h_b) is None:
+            message = f"unknown reference block {batch.h_b.hex()[:16]}"
+            return BatchResponse.build(
+                alpha=batch.alpha, request=batch, m_b=self.node.head_number(),
+                statuses=[ResponseStatus.ERROR] * len(batch.calls),
+                results=[_error_result(message)] * len(batch.calls),
+                proof=[], key=self.key, status=ResponseStatus.ERROR,
+            )
+        m_b = self.node.head_number()  # ONE snapshot for the whole batch
+        statuses: list[int] = []
+        results: list[bytes] = []
+        pool: list[bytes] = []
+        seen: set[bytes] = set()
+        for call in batch.calls:
+            status, result, proof = self._execute_batch_item(call, m_b)
+            statuses.append(status)
+            results.append(result)
+            for node in proof:  # shared-node dedup: the multiproof
+                node_hash = keccak256(node)
+                if node_hash not in seen:
+                    seen.add(node_hash)
+                    pool.append(node)
+        return BatchResponse.build(
+            alpha=batch.alpha, request=batch, m_b=m_b, statuses=statuses,
+            results=results, proof=pool, key=self.key,
+        )
+
+    def _execute_batch_item(self, call: RpcCall,
+                            m_b: int) -> tuple[int, bytes, list[bytes]]:
+        if call.method in _NOT_BATCHABLE:
+            return (ResponseStatus.ERROR,
+                    _error_result(f"{call.method} is not batchable"), [])
+        if call.method == "parp_channelStatus":
+            result, proof = self._channel_status(call)
+            return ResponseStatus.OK, result, proof
+        try:
+            result, proof = self._execute_cached(call, m_b)
+        except QueryError as exc:
+            return ResponseStatus.ERROR, _error_result(str(exc)), []
+        return ResponseStatus.OK, result, proof
+
+    # ------------------------------------------------------------------ #
+    # Proof of Serving (§VIII extension, receipts)
+    # ------------------------------------------------------------------ #
+
+    def serving_receipt(self, alpha: bytes):
+        """The channel's current (α, a, σ_a) packaged as a serving receipt."""
+        from .proof_of_serving import ServingReceipt
+
+        channel = self.channels.get(alpha)
+        if channel is None:
+            raise ServeError(f"unknown channel {alpha.hex()}")
+        return ServingReceipt(
+            alpha=channel.alpha, full_node=self.address,
+            light_client=channel.light_client, amount=channel.latest_amount,
+            signature=channel.latest_sig or b"",
+            queries=channel.queries_served,
         )
 
     # ------------------------------------------------------------------ #
@@ -294,3 +452,8 @@ class FullNodeServer:
             f"FullNodeServer(addr={self.address.hex()[:10]}…, "
             f"channels={len(self.channels)}, served={self.stats.requests_served})"
         )
+
+
+def _error_result(message: str) -> bytes:
+    """The canonical signed-error result payload."""
+    return rlp.encode([b"error", message.encode("utf-8")])

@@ -29,11 +29,18 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..crypto.keys import Address
-from .messages import MessageError, PARPRequest, PARPResponse, ResponseStatus
+from .messages import (
+    BatchRequest,
+    BatchResponse,
+    MessageError,
+    PARPRequest,
+    PARPResponse,
+    ResponseStatus,
+)
 from .queries import HeaderLookup, QueryFraud, Unverifiable, verify_query_result
 from .states import ResponseClass
 
-__all__ = ["VerificationReport", "classify_response"]
+__all__ = ["VerificationReport", "classify_response", "classify_batch_response"]
 
 
 @dataclass(frozen=True)
@@ -121,3 +128,105 @@ def classify_response(request: PARPRequest, response: PARPResponse,
         return VerificationReport(ResponseClass.INVALID, "merkle-proof", str(exc))
 
     return VerificationReport(ResponseClass.VALID, "all-checks")
+
+
+def classify_batch_response(
+        request: BatchRequest, response: BatchResponse, alpha: bytes,
+        full_node: Address, request_height: int, get_header: HeaderLookup,
+) -> tuple[VerificationReport, list[VerificationReport]]:
+    """The §V-D checks lifted to a batch; never raises.
+
+    Checks 1–5 run once over the batch envelope (digest echo, signature,
+    payment amount, timestamp — the metadata is shared, so one pass covers
+    all N queries).  Check 6 then runs per item against the *shared*
+    multiproof node pool via :meth:`BatchResponse.item_view`.  Returns the
+    overall report plus one report per item; the overall classification is
+    the worst across the envelope and every item (FRAUD > INVALID > VALID).
+    """
+    # 1. Verify Request Hash ------------------------------------------------ #
+    if response.h_req != request.h_req:
+        return VerificationReport(
+            ResponseClass.INVALID, "request-hash",
+            "batch response echoes a different request hash",
+        ), []
+    if response.sig_req != request.sig_req:
+        return VerificationReport(
+            ResponseClass.INVALID, "request-hash",
+            "batch response echoes a different request signature",
+        ), []
+
+    # 2./3. Verify Response Signature (α-bound) ----------------------------- #
+    try:
+        signer = response.signer(alpha)
+    except MessageError as exc:
+        return VerificationReport(
+            ResponseClass.INVALID, "response-signature", str(exc),
+        ), []
+    if signer != full_node:
+        return VerificationReport(
+            ResponseClass.INVALID, "response-signature",
+            f"signed by {signer.hex()}, expected {full_node.hex()}",
+        ), []
+
+    # Envelope sanity: the server must answer every call it signed for.
+    if len(response) != len(request.calls):
+        return VerificationReport(
+            ResponseClass.FRAUD, "batch-arity",
+            f"batch of {len(request.calls)} calls answered with "
+            f"{len(response)} results",
+        ), []
+
+    # 4. Payment Amount Check ----------------------------------------------- #
+    if response.a != request.a:
+        return VerificationReport(
+            ResponseClass.FRAUD, "payment-amount",
+            f"batch committed {request.a}, response claims {response.a}",
+        ), []
+
+    # 5. Timestamp Check ----------------------------------------------------- #
+    if response.m_b < request_height:
+        return VerificationReport(
+            ResponseClass.FRAUD, "timestamp",
+            f"response height {response.m_b} < request height {request_height}",
+        ), []
+
+    # 6. Verify Merkle Proof, per item against the shared pool ---------------- #
+    item_reports: list[VerificationReport] = []
+    worst = VerificationReport(ResponseClass.VALID, "all-checks")
+    for index, call in enumerate(request.calls):
+        item = response.item_view(index)
+        if item.status != ResponseStatus.OK:
+            report = VerificationReport(
+                ResponseClass.VALID, "error-response",
+                "full node signed an error outcome", is_error_response=True,
+            )
+        else:
+            report = _classify_item(call, item, get_header)
+        item_reports.append(report)
+        if _severity(report) > _severity(worst):
+            worst = report
+    return worst, item_reports
+
+
+def _classify_item(call, item: PARPResponse,
+                   get_header: HeaderLookup) -> VerificationReport:
+    try:
+        verify_query_result(call, item, get_header)
+    except QueryFraud as exc:
+        return VerificationReport(ResponseClass.FRAUD, "merkle-proof", str(exc))
+    except Unverifiable as exc:
+        return VerificationReport(ResponseClass.INVALID, "merkle-proof", str(exc))
+    except MessageError as exc:
+        return VerificationReport(ResponseClass.INVALID, "merkle-proof", str(exc))
+    return VerificationReport(ResponseClass.VALID, "all-checks")
+
+
+_SEVERITY = {
+    ResponseClass.VALID: 0,
+    ResponseClass.INVALID: 1,
+    ResponseClass.FRAUD: 2,
+}
+
+
+def _severity(report: VerificationReport) -> int:
+    return _SEVERITY[report.classification]

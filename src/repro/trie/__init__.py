@@ -2,7 +2,14 @@
 
 from .mpt import EMPTY_TRIE_ROOT, MerklePatriciaTrie, TrieError
 from .nibbles import bytes_to_nibbles, hp_decode, hp_encode, nibbles_to_bytes
-from .proof import ProofError, generate_proof, proof_size, verify_proof
+from .proof import (
+    ProofError,
+    generate_multiproof,
+    generate_proof,
+    proof_size,
+    verify_multiproof,
+    verify_proof,
+)
 
 __all__ = [
     "MerklePatriciaTrie",
@@ -10,6 +17,8 @@ __all__ = [
     "TrieError",
     "generate_proof",
     "verify_proof",
+    "generate_multiproof",
+    "verify_multiproof",
     "proof_size",
     "ProofError",
     "bytes_to_nibbles",

@@ -1,0 +1,1 @@
+"""Test suite package (enables ``from ..conftest import …`` in submodules)."""

@@ -1,0 +1,1 @@
+"""End-to-end protocol scenarios."""

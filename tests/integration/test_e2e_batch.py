@@ -1,0 +1,240 @@
+"""End-to-end batched serving: one payment, one multiproof, N queries.
+
+Covers the happy path (results verified against the shared node pool, a
+single channel update for the whole batch), the proof cache, per-item signed
+errors, fraud/invalid classification of bad batch responses, and the
+per-key fallback for servers that do not speak our batch version.
+"""
+
+import pytest
+
+from repro.crypto import keccak256
+from repro.parp import (
+    BatchRequest,
+    BatchResponse,
+    FraudDetected,
+    InvalidResponse,
+    RpcCall,
+    SessionError,
+)
+from repro.parp.constants import BATCH_PROTOCOL_VERSION
+from repro.parp.messages import ResponseStatus
+from repro.parp.queries import decode_balance, decode_int_result
+from repro.parp.states import ResponseClass
+from repro.trie.proof import proof_size
+
+from ..conftest import TOKEN, make_parp_env
+
+
+def balance_calls(keys, *people):
+    return [RpcCall.create("eth_getBalance", getattr(keys, p).address)
+            for p in people]
+
+
+class TestHonestBatch:
+    def test_batch_round_trip(self, parp_env):
+        env = parp_env
+        calls = balance_calls(env.keys, "alice", "bob") + [
+            RpcCall.create("eth_blockNumber"),
+        ]
+        outcome = env.session.query_batch(calls)
+        assert outcome.batched
+        assert outcome.report.classification is ResponseClass.VALID
+        assert decode_balance(outcome.items[0].result) == 5 * TOKEN
+        assert decode_balance(outcome.items[1].result) == 3 * TOKEN
+        assert decode_int_result(outcome.items[2].result) == env.node.head_number()
+
+    def test_one_channel_update_for_the_whole_batch(self, parp_env):
+        env = parp_env
+        channel = env.server.channels[env.alpha]
+        before_updates = channel.requests_served
+        calls = balance_calls(env.keys, "alice", "bob", "fn", "wn")
+        outcome = env.session.query_batch(calls)
+        assert channel.requests_served == before_updates + 1
+        assert channel.queries_served >= len(calls)
+        assert channel.latest_amount == outcome.amount_paid
+
+    def test_batch_price_matches_schedule(self, parp_env):
+        env = parp_env
+        calls = balance_calls(env.keys, "alice", "bob")
+        spent_before = env.session.channel.spent
+        outcome = env.session.query_batch(calls)
+        price = env.session.fee_schedule.batch_price(calls)
+        assert outcome.amount_paid - spent_before == price
+
+    def test_multiproof_dedups_across_queries(self, parp_env):
+        """The batch's shared pool is smaller than N stand-alone proofs."""
+        env = parp_env
+        people = ("alice", "bob", "fn", "wn", "lc")
+        singles = 0
+        for person in people:
+            outcome = env.session.request(
+                "eth_getBalance", getattr(env.keys, person).address)
+            singles += proof_size(list(outcome.response.proof))
+        batch_outcome = env.session.query_batch(balance_calls(env.keys, *people))
+        assert proof_size(list(batch_outcome.response.proof)) < singles
+
+    def test_proof_cache_serves_repeats(self, parp_env):
+        env = parp_env
+        calls = balance_calls(env.keys, "alice", "bob")
+        env.session.query_batch(calls)
+        misses = env.server.proof_cache.stats.misses
+        env.session.query_batch(calls)  # same keys, same height
+        assert env.server.proof_cache.stats.hits >= len(calls)
+        assert env.server.proof_cache.stats.misses == misses
+
+    def test_get_balances_convenience(self, parp_env):
+        env = parp_env
+        balances = env.session.get_balances([
+            env.keys.alice.address, env.keys.bob.address,
+        ])
+        assert balances == [5 * TOKEN, 3 * TOKEN]
+
+    def test_serving_receipt_counts_batched_queries(self, parp_env):
+        env = parp_env
+        env.session.query_batch(balance_calls(env.keys, "alice", "bob"))
+        receipt = env.server.serving_receipt(env.alpha)
+        assert receipt.queries == env.server.channels[env.alpha].queries_served
+        assert receipt.verify_signature()
+
+
+class TestBatchErrors:
+    def test_write_call_gets_per_item_signed_error(self, parp_env):
+        env = parp_env
+        calls = balance_calls(env.keys, "alice") + [
+            RpcCall.create("eth_sendRawTransaction", b"\x01\x02"),
+        ]
+        outcome = env.session.query_batch(calls)
+        assert outcome.items[0].ok
+        assert not outcome.items[1].ok
+        assert outcome.items[1].report.is_error_response
+        assert b"not batchable" in outcome.items[1].result
+
+    def test_unknown_method_gets_per_item_signed_error(self, parp_env):
+        env = parp_env
+        calls = [RpcCall.create("eth_noSuchMethod")] + balance_calls(
+            env.keys, "bob")
+        outcome = env.session.query_batch(calls)
+        assert not outcome.items[0].ok
+        assert outcome.items[1].ok
+
+    def test_empty_batch_rejected_client_side(self, parp_env):
+        with pytest.raises(SessionError, match="at least one call"):
+            parp_env.session.query_batch([])
+
+
+def serve_and_decode(env, calls):
+    """Drive the request/serve halves manually so tests can tamper."""
+    session = env.session
+    price = session.fee_schedule.batch_price(calls)
+    request = session.build_batch_request(calls, session.channel.next_amount(price))
+    session.channel.record_request(request.a)
+    raw = env.server.serve_batch(request.encode_wire())
+    return request, BatchResponse.decode_wire(raw)
+
+
+class TestBatchClassification:
+    def test_lying_result_is_fraud(self, parp_env):
+        """A server that SIGNS a wrong result is caught by the multiproof
+        check and classified FRAUD (attributable), not merely invalid."""
+        env = parp_env
+        calls = balance_calls(env.keys, "alice", "bob")
+        request, response = serve_and_decode(env, calls)
+        lying = BatchResponse.build(
+            alpha=env.alpha, request=request, m_b=response.m_b,
+            statuses=list(response.statuses),
+            results=[response.results[1], response.results[1]],  # wrong [0]
+            proof=list(response.proof), key=env.keys.fn,
+        )
+        with pytest.raises(FraudDetected) as excinfo:
+            env.session.process_batch_response(request, lying.encode_wire())
+        assert excinfo.value.report.check == "merkle-proof"
+
+    def test_short_answer_is_fraud(self, parp_env):
+        """Answering fewer items than were signed for is arity fraud."""
+        env = parp_env
+        calls = balance_calls(env.keys, "alice", "bob")
+        request, response = serve_and_decode(env, calls)
+        short = BatchResponse.build(
+            alpha=env.alpha, request=request, m_b=response.m_b,
+            statuses=[response.statuses[0]], results=[response.results[0]],
+            proof=list(response.proof), key=env.keys.fn,
+        )
+        with pytest.raises(FraudDetected) as excinfo:
+            env.session.process_batch_response(request, short.encode_wire())
+        assert excinfo.value.report.check == "batch-arity"
+
+    def test_transit_tampering_is_invalid(self, parp_env):
+        """A third party flipping bytes breaks σ_res: INVALID, not FRAUD."""
+        env = parp_env
+        calls = balance_calls(env.keys, "alice", "bob")
+        request, response = serve_and_decode(env, calls)
+        tampered = response.with_result(0, b"garbage")
+        with pytest.raises(InvalidResponse) as excinfo:
+            env.session.process_batch_response(request, tampered.encode_wire())
+        assert excinfo.value.report.check == "response-signature"
+
+    def test_version_downgrade_on_wire_is_rejected(self, parp_env):
+        env = parp_env
+        calls = balance_calls(env.keys, "alice")
+        session = env.session
+        price = session.fee_schedule.batch_price(calls)
+        request = session.build_batch_request(
+            calls, session.channel.next_amount(price))
+        wire = bytearray(request.encode_wire())
+        wire[0] = BATCH_PROTOCOL_VERSION + 1
+        from repro.parp.server import ServeError
+        with pytest.raises(ServeError):
+            env.server.serve_batch(bytes(wire))
+
+
+class LegacyEndpoint:
+    """A pre-batch server facade: no serve_batch, no version probe."""
+
+    _FORWARDED = (
+        "address", "handshake", "open_channel", "serve_request",
+        "relay_transaction", "get_transaction_count", "serve_header",
+        "serve_head_number",
+    )
+
+    def __init__(self, server):
+        self._server = server
+
+    def __getattr__(self, name):
+        if name not in self._FORWARDED:
+            raise AttributeError(name)
+        return getattr(self._server, name)
+
+
+class TestFallback:
+    def test_falls_back_when_server_lacks_batch(self, devnet, keys):
+        env = make_parp_env(devnet, keys)
+        env.session.endpoint = LegacyEndpoint(env.server)
+        assert not env.session.batch_supported()
+        calls = balance_calls(keys, "alice", "bob")
+        before_updates = env.server.channels[env.alpha].requests_served
+        outcome = env.session.query_batch(calls)
+        assert not outcome.batched
+        assert decode_balance(outcome.items[0].result) == 5 * TOKEN
+        assert decode_balance(outcome.items[1].result) == 3 * TOKEN
+        # fallback pays per key: one channel update per call
+        assert (env.server.channels[env.alpha].requests_served
+                == before_updates + len(calls))
+
+    def test_falls_back_on_version_mismatch(self, parp_env, monkeypatch):
+        env = parp_env
+        monkeypatch.setattr(
+            env.server, "batch_protocol_version",
+            lambda: BATCH_PROTOCOL_VERSION + 1,
+        )
+        assert not env.session.batch_supported()
+        outcome = env.session.query_batch(balance_calls(env.keys, "alice"))
+        assert not outcome.batched
+        assert decode_balance(outcome.items[0].result) == 5 * TOKEN
+
+    def test_fallback_probe_is_free(self, parp_env, monkeypatch):
+        """The version probe must not consume channel budget."""
+        env = parp_env
+        spent_before = env.session.channel.spent
+        assert env.session.batch_supported()
+        assert env.session.channel.spent == spent_before

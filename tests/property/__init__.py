@@ -1,0 +1,1 @@
+"""Hypothesis property tests."""

@@ -1,0 +1,104 @@
+"""Property tests: multiproofs subsume single proofs, never fabricate."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import keccak256
+from repro.trie import (
+    MerklePatriciaTrie,
+    ProofError,
+    generate_multiproof,
+    generate_proof,
+    proof_size,
+    verify_multiproof,
+    verify_proof,
+)
+
+keys = st.binary(min_size=1, max_size=8)
+values = st.binary(min_size=1, max_size=32)
+mappings = st.dictionaries(keys, values, max_size=24)
+key_lists = st.lists(keys, min_size=1, max_size=8)
+
+
+class TestMultiproofCompleteness:
+    @given(mappings, key_lists)
+    @settings(max_examples=120, deadline=None)
+    def test_round_trip_matches_dict(self, model, probes):
+        """For any trie and any key set (present or not), the multiproof
+        verifies and reports exactly the dict's answers."""
+        trie = MerklePatriciaTrie()
+        trie.update(model)
+        proof = generate_multiproof(trie, probes)
+        results = verify_multiproof(trie.root_hash, probes, proof)
+        for probe in probes:
+            assert results[probe] == model.get(probe)
+
+    @given(mappings, key_lists)
+    @settings(max_examples=80, deadline=None)
+    def test_superset_of_single_proofs(self, model, probes):
+        """The pool contains every node of every per-key proof, and each
+        key still verifies through the single-proof verifier."""
+        trie = MerklePatriciaTrie()
+        trie.update(model)
+        pool = generate_multiproof(trie, probes)
+        pool_hashes = {keccak256(node) for node in pool}
+        for probe in probes:
+            single = generate_proof(trie, probe)
+            assert {keccak256(n) for n in single} <= pool_hashes
+            assert verify_proof(trie.root_hash, probe, pool) == model.get(probe)
+
+    @given(mappings, key_lists)
+    @settings(max_examples=80, deadline=None)
+    def test_batch_of_one_equals_single_proof(self, model, probes):
+        trie = MerklePatriciaTrie()
+        trie.update(model)
+        probe = probes[0]
+        assert generate_multiproof(trie, [probe]) == generate_proof(trie, probe)
+
+    @given(mappings, key_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_never_larger_than_concatenation(self, model, probes):
+        trie = MerklePatriciaTrie()
+        trie.update(model)
+        multi = proof_size(generate_multiproof(trie, probes))
+        concat = sum(proof_size(generate_proof(trie, p)) for p in probes)
+        assert multi <= concat
+
+
+class TestMultiproofSoundness:
+    @given(mappings, key_lists, st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_tampered_node_never_misleads(self, model, probes, data):
+        """Flipping a bit in any pool node either raises or leaves every
+        answer consistent with the real trie (hash misses make the node
+        vanish; affected walks fail, unaffected walks still answer right)."""
+        trie = MerklePatriciaTrie()
+        trie.update(model)
+        proof = generate_multiproof(trie, probes)
+        if not proof:
+            return
+        index = data.draw(st.integers(0, len(proof) - 1))
+        offset = data.draw(st.integers(0, len(proof[index]) - 1))
+        tampered = list(proof)
+        tampered[index] = (
+            tampered[index][:offset]
+            + bytes([tampered[index][offset] ^ 0x01])
+            + tampered[index][offset + 1:]
+        )
+        try:
+            results = verify_multiproof(trie.root_hash, probes, tampered)
+        except ProofError:
+            return  # rejected: perfect
+        for probe in probes:
+            assert results[probe] == model.get(probe)
+
+    @given(mappings, key_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_missing_key_soundness(self, model, probes):
+        """Keys outside the model always verify to None (proven absent)."""
+        trie = MerklePatriciaTrie()
+        trie.update(model)
+        absent = [p for p in probes if p not in model]
+        proof = generate_multiproof(trie, probes)
+        results = verify_multiproof(trie.root_hash, probes, proof)
+        for probe in absent:
+            assert results[probe] is None

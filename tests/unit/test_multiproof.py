@@ -1,0 +1,117 @@
+"""Multiproofs: one deduplicated node pool answering many keys."""
+
+import pytest
+
+from repro.crypto import keccak256
+from repro.trie import (
+    EMPTY_TRIE_ROOT,
+    MerklePatriciaTrie,
+    ProofError,
+    generate_multiproof,
+    generate_proof,
+    proof_size,
+    verify_multiproof,
+    verify_proof,
+)
+
+
+def build_trie(n=64, prefix=b"acct"):
+    """Keys sharing a 4-byte prefix: maximal upper-level sharing."""
+    trie = MerklePatriciaTrie()
+    model = {prefix + i.to_bytes(2, "big"): b"v" * 8 + bytes([i % 251])
+             for i in range(n)}
+    trie.update(model)
+    return trie, model
+
+
+class TestGeneration:
+    def test_batch_of_one_equals_single_proof(self):
+        trie, model = build_trie()
+        key = next(iter(model))
+        assert generate_multiproof(trie, [key]) == generate_proof(trie, key)
+
+    def test_nodes_are_deduplicated(self):
+        trie, model = build_trie()
+        keys = sorted(model)[:16]
+        multi = generate_multiproof(trie, keys)
+        hashes = [keccak256(node) for node in multi]
+        assert len(hashes) == len(set(hashes))
+        concatenated = sum(proof_size(generate_proof(trie, k)) for k in keys)
+        assert proof_size(multi) < concatenated
+
+    def test_covers_union_of_single_proofs(self):
+        trie, model = build_trie()
+        keys = sorted(model)[:8] + [b"absent-key"]
+        pool = {keccak256(n) for n in generate_multiproof(trie, keys)}
+        for key in keys:
+            for node in generate_proof(trie, key):
+                assert keccak256(node) in pool
+
+    def test_empty_trie_and_empty_keys(self):
+        trie = MerklePatriciaTrie()
+        assert generate_multiproof(trie, [b"k"]) == []
+        populated, _ = build_trie(4)
+        assert generate_multiproof(populated, []) == []
+
+
+class TestVerification:
+    def test_round_trip_reports_exact_contents(self):
+        trie, model = build_trie()
+        keys = sorted(model)[:20] + [b"absent-1", b"absent-2"]
+        proof = generate_multiproof(trie, keys)
+        results = verify_multiproof(trie.root_hash, keys, proof)
+        for key in keys:
+            assert results[key] == model.get(key)
+
+    def test_agrees_with_single_proof_verification(self):
+        trie, model = build_trie()
+        keys = sorted(model)[:12]
+        proof = generate_multiproof(trie, keys)
+        results = verify_multiproof(trie.root_hash, keys, proof)
+        for key in keys:
+            single = verify_proof(trie.root_hash, key,
+                                  generate_proof(trie, key))
+            assert results[key] == single
+
+    def test_missing_key_soundness(self):
+        """Absent keys verify to None, never to a fabricated value."""
+        trie, model = build_trie()
+        absent = [b"nope" + bytes([i]) for i in range(4)]
+        proof = generate_multiproof(trie, sorted(model)[:4] + absent)
+        results = verify_multiproof(trie.root_hash, absent, proof)
+        assert all(results[k] is None for k in absent)
+
+    def test_tampered_node_is_rejected(self):
+        trie, model = build_trie()
+        keys = sorted(model)[:8]
+        proof = generate_multiproof(trie, keys)
+        tampered = list(proof)
+        tampered[0] = tampered[0][:-1] + bytes([tampered[0][-1] ^ 0x01])
+        with pytest.raises(ProofError):
+            verify_multiproof(trie.root_hash, keys, tampered)
+
+    def test_truncated_pool_is_rejected(self):
+        trie, model = build_trie()
+        keys = sorted(model)[:8]
+        proof = generate_multiproof(trie, keys)
+        assert len(proof) > 1
+        with pytest.raises(ProofError):
+            verify_multiproof(trie.root_hash, keys, proof[:-1])
+
+    def test_wrong_root_never_fabricates(self):
+        trie, model = build_trie()
+        other, other_model = build_trie(prefix=b"othr")
+        keys = sorted(model)[:8]
+        proof = generate_multiproof(trie, keys)
+        try:
+            results = verify_multiproof(other.root_hash, keys, proof)
+        except ProofError:
+            return  # rejected outright: perfect
+        for key in keys:
+            assert results[key] == other_model.get(key)
+
+    def test_empty_root(self):
+        results = verify_multiproof(EMPTY_TRIE_ROOT, [b"a", b"b"], [])
+        assert results == {b"a": None, b"b": None}
+        with pytest.raises(ProofError):
+            verify_multiproof(EMPTY_TRIE_ROOT, [b"a"], [b"junk"])
