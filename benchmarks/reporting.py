@@ -9,6 +9,7 @@ without needing ``-s``.  Blocks are also appended to
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 _REPORTS: list[tuple[str, str]] = []
@@ -22,6 +23,16 @@ def add_report(title: str, body: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     with open(RESULTS_DIR / "latest.txt", "a", encoding="utf-8") as fh:
         fh.write(f"== {title} ==\n{body}\n\n")
+
+
+def write_json_series(name: str, payload: dict) -> pathlib.Path:
+    """Persist one bench's machine-readable series (CI uploads these so the
+    perf trajectory is diffable across commits, not just eyeballable)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
 
 
 def drain_reports() -> list[tuple[str, str]]:

@@ -22,7 +22,11 @@ from repro.parp import (
     MIN_FULL_NODE_DEPOSIT,
     SessionError,
 )
-from repro.parp.reputation import ReputationLedger
+from repro.parp.reputation import (
+    EVENT_INVALID_RESPONSE,
+    EVENT_SERVED_OK,
+    ReputationLedger,
+)
 
 TOKEN = 10 ** 18
 
@@ -67,12 +71,12 @@ class Wallet:
         for attempt in range(len(self.servers)):
             try:
                 value = self.session.get_balance(address)
-                self.reputation.record(self.session.full_node, "served_ok",
+                self.reputation.record(self.session.full_node, EVENT_SERVED_OK,
                                        time=self._tick())
                 return value
             except (InvalidResponse, SessionError):
                 failed = self.session.full_node
-                self.reputation.record(failed, "invalid_response",
+                self.reputation.record(failed, EVENT_INVALID_RESPONSE,
                                        time=self._tick())
                 print(f"  provider {failed.hex()[:10]}… failed; rotating")
                 self.connect_best(budget=10 ** 14)

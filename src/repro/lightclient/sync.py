@@ -49,9 +49,18 @@ class HeaderSyncer:
     # ------------------------------------------------------------------ #
 
     def head_target(self) -> int:
-        """The height to sync to: the median of the sources' heads (robust
-        against a minority of sources lying about the tip)."""
-        heads = sorted(source.serve_head_number() for source in self.sources)
+        """The height to sync to: the median of the responsive sources' heads
+        (robust against a minority of sources lying about the tip; dead or
+        partitioned sources are skipped rather than wedging the sync)."""
+        heads = []
+        for source in self.sources:
+            try:
+                heads.append(source.serve_head_number())
+            except Exception:  # noqa: BLE001 — a dead source is not fatal
+                continue
+        if not heads:
+            raise SyncError("no header source answered a head request")
+        heads.sort()
         return heads[len(heads) // 2]
 
     def sync(self) -> BlockHeader:
@@ -68,15 +77,24 @@ class HeaderSyncer:
         return self.chain.tip
 
     def _fetch_checked(self, number: int) -> BlockHeader:
-        """Fetch header ``number``, requiring quorum agreement on its hash."""
+        """Fetch header ``number``, requiring quorum agreement on its hash.
+
+        Each source is asked exactly once; sources that raise (offline,
+        partitioned, timed out) simply don't vote.
+        """
         votes: Counter[bytes] = Counter()
         candidates: dict[bytes, BlockHeader] = {}
+        answers: dict[int, bytes] = {}
         for index, source in enumerate(self.sources):
-            header = source.serve_header(number)
+            try:
+                header = source.serve_header(number)
+            except Exception:  # noqa: BLE001 — a dead source is not fatal
+                continue
             if header is None or header.number != number:
                 continue
             votes[header.hash] += 1
             candidates[header.hash] = header
+            answers[index] = header.hash
         if not votes:
             raise SyncError(f"no source could provide header {number}")
         winner_hash, count = votes.most_common(1)[0]
@@ -86,9 +104,8 @@ class HeaderSyncer:
                 f"need {self.quorum}"
             )
         # Remember sources that voted against the quorum hash.
-        for index, source in enumerate(self.sources):
-            header = source.serve_header(number)
-            if header is not None and header.hash != winner_hash:
+        for index, answer in answers.items():
+            if answer != winner_hash:
                 self.suspects.add(index)
         return candidates[winner_hash]
 

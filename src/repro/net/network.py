@@ -55,6 +55,7 @@ class SimNetwork:
         self._events: list[_Event] = []
         self._seq = count()
         self._partitioned: set[frozenset[str]] = set()
+        self._isolated: set[str] = set()
         self.stats = NetworkStats()
 
     # ------------------------------------------------------------------ #
@@ -80,6 +81,20 @@ class SimNetwork:
     def heal(self, a: str, b: str) -> None:
         self._partitioned.discard(frozenset((a, b)))
 
+    def isolate(self, name: str) -> None:
+        """Sever every link of ``name`` at once (node-level partition) —
+        what a crashed or net-split server looks like to everybody else."""
+        self._isolated.add(name)
+
+    def rejoin(self, name: str) -> None:
+        self._isolated.discard(name)
+
+    def is_reachable(self, src: str, dst: str) -> bool:
+        """Whether a message from ``src`` would currently reach ``dst``."""
+        if src in self._isolated or dst in self._isolated:
+            return False
+        return frozenset((src, dst)) not in self._partitioned
+
     # ------------------------------------------------------------------ #
     # Messaging
     # ------------------------------------------------------------------ #
@@ -92,7 +107,7 @@ class SimNetwork:
         self.stats.messages_sent += 1
         size = size_bytes if size_bytes is not None else _estimate_size(payload)
         self.stats.bytes_sent += size
-        if frozenset((src, dst)) in self._partitioned:
+        if not self.is_reachable(src, dst):
             self.stats.messages_dropped += 1
             return
         if self.drop_rate and self._rng.random() < self.drop_rate:

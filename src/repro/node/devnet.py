@@ -171,6 +171,18 @@ class Devnet:
     def balance_of(self, address: Address) -> int:
         return self.chain.state.balance_of(address)
 
+    def stake_full_node(self, key: PrivateKey,
+                        amount: Optional[int] = None) -> None:
+        """Lock serving collateral in the Deposit Module for ``key``'s
+        operator — the one on-chain step every marketplace server needs
+        before it may advertise (availability condition of Fig. 4)."""
+        from ..parp.constants import MIN_FULL_NODE_DEPOSIT
+
+        result = self.execute(key, DEPOSIT_MODULE_ADDRESS, "deposit",
+                              value=amount or MIN_FULL_NODE_DEPOSIT)
+        if not result.succeeded:
+            raise RuntimeError(f"stake deposit reverted: {result.error}")
+
     def advance_blocks(self, count: int) -> None:
         """Mine ``count`` empty blocks (to pass dispute/unbonding windows)."""
         for _ in range(count):

@@ -35,6 +35,18 @@ _EXPORTS = {
     # pricing
     "FeeSchedule": "pricing", "FlatFeeSchedule": "pricing",
     "CallBasedFeeSchedule": "pricing", "DEFAULT_FEE_SCHEDULE": "pricing",
+    "REFERENCE_BASKET": "pricing",
+    # marketplace
+    "Marketplace": "marketplace", "MarketplaceClient": "marketplace",
+    "MarketplaceError": "marketplace", "MarketplaceStats": "marketplace",
+    "ServerAdvertisement": "marketplace",
+    # reputation
+    "ReputationLedger": "reputation", "ReputationEvent": "reputation",
+    "EVENT_WEIGHTS": "reputation", "EVENT_KINDS": "reputation",
+    "EVENT_SERVED_OK": "reputation", "EVENT_CHANNEL_SETTLED": "reputation",
+    "EVENT_INVALID_RESPONSE": "reputation", "EVENT_FRAUD_DETECTED": "reputation",
+    "EVENT_FRAUD_SLASHED": "reputation", "EVENT_EQUIVOCATION": "reputation",
+    "EVENT_TIMEOUT": "reputation", "EVENT_VERSION_MISMATCH": "reputation",
     # fraud proofs
     "FraudProofPackage": "fraudproof", "FraudProofError": "fraudproof",
     "WitnessService": "fraudproof", "build_fraud_package": "fraudproof",
@@ -48,6 +60,8 @@ _EXPORTS = {
     "MIN_FULL_NODE_DEPOSIT": "constants", "DISPUTE_WINDOW_BLOCKS": "constants",
     "REQUEST_OVERHEAD_BYTES": "constants", "RESPONSE_OVERHEAD_BYTES": "constants",
     "BATCH_PROTOCOL_VERSION": "constants",
+    "DEFAULT_SELECTION_THRESHOLD": "constants",
+    "DEFAULT_MIN_SESSIONS": "constants", "DEFAULT_CHANNEL_BUDGET": "constants",
     # proof of serving
     "ServingReceipt": "proof_of_serving", "ReceiptValidator": "proof_of_serving",
     "EpochClaim": "proof_of_serving", "RewardPool": "proof_of_serving",

@@ -32,6 +32,7 @@ class ClientChannel:
     full_node: Address
     budget: int
     spent: int = 0                      # latest cumulative amount a signed
+    acked: int = 0                      # highest amount a *verified* response covered
     requests_sent: int = 0
 
     def __post_init__(self) -> None:
@@ -63,6 +64,20 @@ class ClientChannel:
             raise ChannelError("cumulative amount exceeds budget")
         self.spent = amount
         self.requests_sent += 1
+
+    def record_ack(self, amount: int) -> None:
+        """Bank a verified response covering cumulative amount ``amount``.
+
+        ``acked`` is what closing the channel should concede: a payment whose
+        request died in transit was signed (``spent``) but never served, and
+        the client must not volunteer it at closure — if the server *did*
+        receive it, the dispute window lets the server counter with its
+        higher σ_a, so closing at ``acked`` is both minimal and safe.
+        """
+        if amount > self.spent:
+            raise ChannelError("cannot acknowledge more than was signed")
+        if amount > self.acked:
+            self.acked = amount
 
 
 @dataclass

@@ -246,6 +246,7 @@ class LightClientSession:
             raise SessionError(f"cannot adopt a channel while {self.state.value}")
         self.channel = ClientChannel(
             alpha=alpha, full_node=full_node, budget=budget, spent=spent,
+            acked=spent,
         )
         self.full_node = full_node
         self.state = LightClientState.BONDED
@@ -262,9 +263,13 @@ class LightClientSession:
         ``tip`` adds extra payment on top of the fee schedule (e.g. for
         priority service).  Raises on INVALID/FRAUD classifications.
         """
+        return self.request_call(RpcCall.create(method, *params), tip=tip)
+
+    def request_call(self, call: RpcCall, tip: int = 0) -> RequestOutcome:
+        """Like :meth:`request` but for a pre-built call — a failing-over
+        marketplace client re-issues the identical γ to the next server."""
         if self.state is not LightClientState.BONDED or self.channel is None:
             raise SessionError(f"no bonded channel (state={self.state.value})")
-        call = RpcCall.create(method, *params)
         price = self.fee_schedule.price(call) + tip
         try:
             amount = self.channel.next_amount(price)
@@ -325,6 +330,7 @@ class LightClientSession:
             raise FraudDetected(report, package)
         if report.classification is ResponseClass.INVALID:
             raise InvalidResponse(report)
+        self.channel.record_ack(request.a)
         return outcome
 
     # ------------------------------------------------------------------ #
@@ -435,6 +441,7 @@ class LightClientSession:
             raise FraudDetected(report, None)
         if report.classification is ResponseClass.INVALID:
             raise InvalidResponse(report)
+        self.channel.record_ack(request.a)
         return outcome
 
     def _batch_fallback(self, calls: tuple[RpcCall, ...],
@@ -444,7 +451,7 @@ class LightClientSession:
         items = []
         amount_paid = self.channel.spent
         for call in calls:
-            outcome = self.request(call.method, *call.params, tip=tip)
+            outcome = self.request_call(call, tip=tip)
             tip = 0  # a tip, if any, is paid once per batch
             amount_paid = outcome.amount_paid
             items.append(BatchItem(
@@ -543,12 +550,17 @@ class LightClientSession:
     # ------------------------------------------------------------------ #
 
     def build_close_transaction(self, gas_limit: int = 300_000) -> Transaction:
-        """CloseChannel tx carrying our latest signed cumulative amount."""
+        """CloseChannel tx conceding the highest *acknowledged* amount.
+
+        Payments whose request died in transit (``spent`` > ``acked``) are
+        not volunteered; a server that did receive them can still counter
+        with its higher σ_a inside the dispute window.
+        """
         if self.channel is None:
             raise SessionError("no channel to close")
         from .messages import payment_digest
 
-        amount = self.channel.spent
+        amount = self.channel.acked
         sig_a = (self.key.sign(payment_digest(self.channel.alpha, amount)).to_bytes()
                  if amount else b"")
         nonce = self.endpoint.get_transaction_count(self.address)

@@ -24,6 +24,9 @@ __all__ = [
     "BATCH_PROTOCOL_VERSION",
     "BATCH_REQUEST_OVERHEAD_BYTES",
     "BATCH_RESPONSE_OVERHEAD_BYTES",
+    "DEFAULT_SELECTION_THRESHOLD",
+    "DEFAULT_MIN_SESSIONS",
+    "DEFAULT_CHANNEL_BUDGET",
     "MAX_AMOUNT",
     "MIN_FULL_NODE_DEPOSIT",
     "DISPUTE_WINDOW_BLOCKS",
@@ -63,6 +66,16 @@ BATCH_REQUEST_OVERHEAD_BYTES = 1 + REQUEST_OVERHEAD_BYTES  # = 227
 #: batch response metadata layout matches a single response (187 bytes); the
 #: per-item statuses/results/multiproof travel in the RLP payload.
 BATCH_RESPONSE_OVERHEAD_BYTES = RESPONSE_OVERHEAD_BYTES
+
+# -- marketplace (multi-server client) -------------------------------------- #
+#: servers scoring below this are never selected; must stay at or below the
+#: reputation ledger's ``newcomer_score`` or fresh servers could never join.
+DEFAULT_SELECTION_THRESHOLD = 0.05
+#: concurrent channels a marketplace client keeps open (≥2 gives it a warm
+#: standby to fail over to mid-query without an on-chain round first).
+DEFAULT_MIN_SESSIONS = 2
+#: default budget locked into each marketplace payment channel.
+DEFAULT_CHANNEL_BUDGET = 10 ** 15
 
 # -- economics ------------------------------------------------------------- #
 WEI_PER_TOKEN = 10 ** 18

@@ -1,0 +1,535 @@
+"""The server marketplace: discovery, selection, and mid-query failover.
+
+The paper's Table I traffic analysis shows what dApps actually face: a
+*market* of providers (Infura 47.5%, Alchemy 31.1%, …) with different price
+schedules and different trustworthiness.  PARP makes switching providers
+free of sign-up friction; this module supplies the missing client machinery:
+
+* :class:`Marketplace` — a directory where staked full nodes advertise
+  (address, endpoint, fee schedule, batch protocol version);
+* :class:`MarketplaceClient` — wraps one :class:`LightClientSession` per
+  provider, keeps ≥2 channels warm, and routes every query to the best
+  server under a **reputation × price** score (the §VIII
+  :class:`~repro.parp.reputation.ReputationLedger` finally wired into
+  selection);
+* **failover**: on an invalid response, a timeout, or a batch-version
+  mismatch the client records the reputation event, re-issues the identical
+  query to the next-ranked server, and — when the response is provable
+  fraud — escalates through a witness to the on-chain slash flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Any, Optional, Sequence
+
+from ..crypto.keys import Address, PrivateKey
+from ..lightclient.sync import HeaderSyncer
+from .client import (
+    DEFAULT_GAS_PRICE,
+    BatchOutcome,
+    FraudDetected,
+    InvalidResponse,
+    LightClientSession,
+    RequestOutcome,
+    ServerEndpoint,
+    SessionError,
+)
+from .constants import (
+    BATCH_PROTOCOL_VERSION,
+    DEFAULT_CHANNEL_BUDGET,
+    DEFAULT_MIN_SESSIONS,
+    DEFAULT_SELECTION_THRESHOLD,
+    MAX_AMOUNT,
+)
+from .fraudproof import FraudProofError
+from .messages import RpcCall
+from .pricing import FeeSchedule
+from .queries import decode_balance
+from .reputation import (
+    EVENT_CHANNEL_SETTLED,
+    EVENT_FRAUD_DETECTED,
+    EVENT_FRAUD_SLASHED,
+    EVENT_INVALID_RESPONSE,
+    EVENT_SERVED_OK,
+    EVENT_TIMEOUT,
+    EVENT_VERSION_MISMATCH,
+    ReputationLedger,
+)
+from .states import LightClientState
+
+__all__ = [
+    "MarketplaceError",
+    "ServerAdvertisement",
+    "Marketplace",
+    "MarketplaceStats",
+    "MarketplaceClient",
+]
+
+
+class MarketplaceError(Exception):
+    """No eligible server could (be made to) answer."""
+
+    def __init__(self, message: str, attempts: Sequence[str] = ()) -> None:
+        if attempts:
+            message = f"{message}: " + "; ".join(attempts)
+        super().__init__(message)
+        self.attempts = tuple(attempts)
+
+
+@dataclass(frozen=True)
+class ServerAdvertisement:
+    """What a full node publishes to the directory.
+
+    ``endpoint`` is how a client reaches the server — the in-process
+    :class:`~repro.parp.server.FullNodeServer` itself, or a
+    :class:`~repro.net.transport.SimEndpoint` over the simulated network.
+    """
+
+    address: Address
+    endpoint: ServerEndpoint
+    fee_schedule: FeeSchedule
+    batch_version: Optional[int] = None
+    name: str = ""
+
+    @classmethod
+    def for_server(cls, server: Any, name: str = "",
+                   endpoint: Optional[ServerEndpoint] = None,
+                   ) -> "ServerAdvertisement":
+        """Build an advertisement straight from a :class:`FullNodeServer`."""
+        return cls(
+            address=server.address,
+            endpoint=endpoint if endpoint is not None else server,
+            fee_schedule=server.fee_schedule,
+            batch_version=server.batch_protocol_version(),
+            name=name or getattr(getattr(server, "node", None), "name", ""),
+        )
+
+    @cached_property
+    def reference_price(self) -> int:
+        """Sticker price of the standard call basket (see pricing).
+
+        Cached: the advertisement is frozen, and selection reads this for
+        every candidate on every routed query.
+        """
+        return self.fee_schedule.reference_price()
+
+    @property
+    def speaks_batch(self) -> bool:
+        return self.batch_version == BATCH_PROTOCOL_VERSION
+
+    @property
+    def label(self) -> str:
+        return self.name or self.address.hex()[:10]
+
+
+class Marketplace:
+    """The directory full nodes advertise in and clients select from."""
+
+    def __init__(self) -> None:
+        self._ads: dict[Address, ServerAdvertisement] = {}
+
+    def advertise(self, ad: ServerAdvertisement) -> None:
+        """Publish (or refresh) one server's advertisement."""
+        self._ads[ad.address] = ad
+
+    def advertise_server(self, server: Any, name: str = "",
+                         endpoint: Optional[ServerEndpoint] = None,
+                         ) -> ServerAdvertisement:
+        ad = ServerAdvertisement.for_server(server, name=name, endpoint=endpoint)
+        self.advertise(ad)
+        return ad
+
+    def withdraw(self, address: Address) -> None:
+        self._ads.pop(address, None)
+
+    def get(self, address: Address) -> Optional[ServerAdvertisement]:
+        return self._ads.get(address)
+
+    def advertisements(self) -> list[ServerAdvertisement]:
+        return list(self._ads.values())
+
+    def __len__(self) -> int:
+        return len(self._ads)
+
+    def __contains__(self, address: Address) -> bool:
+        return address in self._ads
+
+
+@dataclass
+class MarketplaceStats:
+    """What the routing layer did on the client's behalf."""
+
+    queries: int = 0              # queries answered (after any failover)
+    failovers: int = 0            # re-issues to another server
+    sessions_opened: int = 0
+    frauds_detected: int = 0
+    frauds_slashed: int = 0
+    version_mismatches: int = 0
+
+
+#: consecutive transport timeouts before a server is demoted to last resort.
+COLD_AFTER = 2
+
+
+class MarketplaceClient:
+    """A light client that shops the marketplace instead of trusting one node.
+
+    Selection score: ``reputation(score) × (cheapest reference price /
+    server's reference price)`` — trust weighted by how competitively the
+    server prices the standard call basket.  Servers that are banned or
+    score below ``selection_threshold`` are never used.
+    """
+
+    def __init__(self, key: PrivateKey, marketplace: Marketplace,
+                 reputation: Optional[ReputationLedger] = None,
+                 witness: Optional[Any] = None,
+                 headers: Optional[HeaderSyncer] = None,
+                 clock=None,
+                 budget: int = DEFAULT_CHANNEL_BUDGET,
+                 min_sessions: int = DEFAULT_MIN_SESSIONS,
+                 selection_threshold: float = DEFAULT_SELECTION_THRESHOLD,
+                 gas_price: int = DEFAULT_GAS_PRICE) -> None:
+        if not 0 < budget <= MAX_AMOUNT:
+            # a bad budget would fail identically against every server; catch
+            # it here so no server is blamed (and banned) for a client bug
+            raise MarketplaceError(f"channel budget {budget} out of range")
+        self.key = key
+        self.marketplace = marketplace
+        self.reputation = reputation if reputation is not None else ReputationLedger()
+        self.witness = witness              # anything with .submit(package)
+        self.budget = budget
+        self.min_sessions = max(1, min_sessions)
+        self.selection_threshold = selection_threshold
+        self.gas_price = gas_price
+        self.sessions: dict[Address, LightClientSession] = {}
+        #: sessions dropped after misbehavior, kept so their channels' α and
+        #: acked amounts survive for settlement (escrow is money)
+        self.retired: list[tuple[Address, LightClientSession]] = []
+        self.stats = MarketplaceStats()
+        self._headers = headers
+        self._clock = clock
+        self._ticks = 0.0
+        self._mismatch_noted: set[Address] = set()
+        #: consecutive transport failures per server; at COLD_AFTER the
+        #: server drops to the back of the ranking so retries stop signing
+        #: payments into a channel nobody is answering
+        self._cold: dict[Address, int] = {}
+
+    @property
+    def address(self) -> Address:
+        return self.key.address
+
+    @property
+    def headers(self) -> HeaderSyncer:
+        """One shared header chain for all sessions (headers are free and
+        multi-source, so every advertised endpoint is a source)."""
+        if self._headers is None:
+            ads = self.marketplace.advertisements()
+            if not ads:
+                raise MarketplaceError("cannot sync headers: empty marketplace")
+            self._headers = HeaderSyncer([ad.endpoint for ad in ads])
+        return self._headers
+
+    def _now(self) -> float:
+        if self._clock is not None:
+            return float(self._clock())
+        self._ticks += 1.0          # deterministic logical time
+        return self._ticks
+
+    # ------------------------------------------------------------------ #
+    # Selection
+    # ------------------------------------------------------------------ #
+
+    def trust(self, address: Address, now: Optional[float] = None) -> float:
+        """The ledger score with a newcomer floor for positive histories.
+
+        A server with net-positive evidence must never rank below a total
+        stranger (the raw ledger score dips under ``newcomer_score`` until
+        ~``saturation`` successes accumulate); negative evidence, however,
+        is taken at face value — that is what collapses below the selection
+        threshold and gets a server routed around.
+        """
+        if now is None:
+            now = self._now()
+        score = self.reputation.score(address, now)
+        if (self.reputation.events_of(address)
+                and self.reputation.raw_score(address, now) > 0.0):
+            return max(score, self.reputation.newcomer_score)
+        return score
+
+    def selection_score(self, ad: ServerAdvertisement,
+                        now: Optional[float] = None) -> float:
+        """Reputation-weighted, price-aware score in [0, 1]."""
+        if now is None:
+            now = self._now()
+        if self.reputation.is_banned(ad.address, now):
+            return 0.0
+        ads = self.marketplace.advertisements() or [ad]
+        cheapest = min(max(1, a.reference_price) for a in ads)
+        return self.trust(ad.address, now) * (cheapest / max(1, ad.reference_price))
+
+    def eligible(self, now: Optional[float] = None) -> list[ServerAdvertisement]:
+        """Advertisements ranked best-first by the combined score.
+
+        Eligibility gates on *trust alone* — banned servers and those whose
+        reputation score fell below ``selection_threshold`` are dropped; the
+        price factor then only decides the order among trusted servers (a
+        bargain price must never buy back a burned reputation).
+        """
+        if now is None:
+            now = self._now()
+        ads = self.marketplace.advertisements()
+        cheapest = min((max(1, a.reference_price) for a in ads), default=1)
+        keep = []
+        for ad in ads:
+            if self.reputation.is_banned(ad.address, now):
+                continue
+            trust = self.trust(ad.address, now)
+            if trust < self.selection_threshold:
+                continue
+            keep.append((trust * (cheapest / max(1, ad.reference_price)), ad))
+        # cold (repeatedly unreachable) servers sink to last resort; among
+        # the rest: score, then cheaper, then demonstrated history over a
+        # stranger, then a stable label order so routing is deterministic.
+        keep.sort(key=lambda pair: (
+            self._cold.get(pair[1].address, 0) >= COLD_AFTER,
+            -pair[0], pair[1].reference_price,
+            -self.reputation.raw_score(pair[1].address, now), pair[1].label,
+        ))
+        return [ad for _, ad in keep]
+
+    # ------------------------------------------------------------------ #
+    # Channel management
+    # ------------------------------------------------------------------ #
+
+    def bonded_sessions(self) -> dict[Address, LightClientSession]:
+        return {a: s for a, s in self.sessions.items()
+                if s.state is LightClientState.BONDED}
+
+    def connect(self, min_sessions: Optional[int] = None) -> list[Address]:
+        """Open channels to the ``min_sessions`` best-ranked servers.
+
+        Servers that fail to connect get a timeout event and are skipped.
+        Raises :class:`MarketplaceError` when not even one channel opens.
+        """
+        want = min_sessions if min_sessions is not None else self.min_sessions
+        attempts: list[str] = []
+        for ad in self.eligible():
+            if len(self.bonded_sessions()) >= want:
+                break
+            if ad.address in self.bonded_sessions():
+                continue
+            try:
+                self._open_session(ad)
+            except SessionError as exc:
+                # client-side lifecycle/budget problem: the server did not
+                # misbehave, so no reputation penalty
+                attempts.append(f"{ad.label}: {exc}")
+            except Exception as exc:  # noqa: BLE001 — any connect failure ⇒ next server
+                self.reputation.record(ad.address, EVENT_TIMEOUT, self._now())
+                attempts.append(f"{ad.label}: {exc}")
+        opened = self.bonded_sessions()
+        if not opened:
+            raise MarketplaceError("could not bond to any server", attempts)
+        return list(opened)
+
+    def _open_session(self, ad: ServerAdvertisement) -> LightClientSession:
+        session = LightClientSession(
+            self.key, ad.endpoint, self.headers,
+            fee_schedule=ad.fee_schedule, gas_price=self.gas_price,
+            clock=self._clock,
+        )
+        session.connect(budget=self.budget)
+        self.sessions[ad.address] = session
+        self.stats.sessions_opened += 1
+        return session
+
+    def _session_for(self, ad: ServerAdvertisement) -> LightClientSession:
+        session = self.sessions.get(ad.address)
+        if session is not None and session.state is LightClientState.BONDED:
+            return session
+        return self._open_session(ad)
+
+    def _retire_session(self, address: Address) -> None:
+        """Stop using a session but keep it: its channel's α and acked
+        amount are needed to settle the escrowed budget later."""
+        session = self.sessions.pop(address, None)
+        if session is not None:
+            self.retired.append((address, session))
+
+    def _replenish(self) -> None:
+        """Best-effort: restore the warm-standby invariant after a drop."""
+        try:
+            if len(self.bonded_sessions()) < self.min_sessions:
+                self.connect()
+        except MarketplaceError:
+            pass  # a later query will surface the exhaustion with context
+
+    # ------------------------------------------------------------------ #
+    # The routed request path
+    # ------------------------------------------------------------------ #
+
+    def request(self, method: str, *params: Any, tip: int = 0) -> RequestOutcome:
+        """One verified query, served by whichever server survives routing."""
+        call = RpcCall.create(method, *params)
+        return self.request_call(call, tip=tip)
+
+    def request_call(self, call: RpcCall, tip: int = 0) -> RequestOutcome:
+        return self._serve(lambda s: s.request_call(call, tip=tip),
+                           describe=call.method)
+
+    def query_batch(self, calls: Sequence[RpcCall], tip: int = 0) -> BatchOutcome:
+        """A batched query, routed to batch-speaking servers first."""
+        calls = tuple(calls)
+        return self._serve(lambda s: s.query_batch(calls, tip=tip),
+                           describe=f"batch[{len(calls)}]", want_batch=True)
+
+    def _serve(self, issue, describe: str, want_batch: bool = False):
+        tried: set[Address] = set()
+        attempts: list[str] = []
+        while True:
+            ad = self._next_candidate(tried, want_batch)
+            if ad is None:
+                raise MarketplaceError(
+                    f"{describe}: every eligible server failed", attempts,
+                )
+            tried.add(ad.address)
+            try:
+                session = self._session_for(ad)
+            except SessionError as exc:
+                attempts.append(f"{ad.label}: connect: {exc}")  # client-side
+                self.stats.failovers += 1
+                continue
+            except Exception as exc:  # noqa: BLE001 — connect failure ⇒ failover
+                self.reputation.record(ad.address, EVENT_TIMEOUT, self._now())
+                attempts.append(f"{ad.label}: connect: {exc}")
+                self.stats.failovers += 1
+                continue
+            if want_batch and not session.batch_supported():
+                self._note_version_mismatch(ad)
+            try:
+                outcome = issue(session)
+            except FraudDetected as exc:
+                self._on_fraud(ad, exc)
+                attempts.append(f"{ad.label}: fraud [{exc.report.check}]")
+                self.stats.failovers += 1
+                self._replenish()
+                continue
+            except InvalidResponse as exc:
+                if exc.report.check == "transport":
+                    kind = EVENT_TIMEOUT       # silent/dead/partitioned server
+                    self._cold[ad.address] = self._cold.get(ad.address, 0) + 1
+                else:
+                    kind = EVENT_INVALID_RESPONSE
+                    self._retire_session(ad.address)  # §IV-F: terminate
+                self.reputation.record(ad.address, kind, self._now())
+                attempts.append(f"{ad.label}: {kind} [{exc.report.check}]")
+                self.stats.failovers += 1
+                continue
+            except SessionError as exc:
+                # local condition (most commonly: this channel's budget is
+                # exhausted) — not the server's fault; just route elsewhere
+                attempts.append(f"{ad.label}: session: {exc}")
+                self.stats.failovers += 1
+                continue
+            self._cold.pop(ad.address, None)
+            self.reputation.record(ad.address, EVENT_SERVED_OK, self._now())
+            self.stats.queries += 1
+            return outcome
+
+    def _next_candidate(self, tried: set[Address],
+                        want_batch: bool) -> Optional[ServerAdvertisement]:
+        ranked = [ad for ad in self.eligible() if ad.address not in tried]
+        if not ranked:
+            return None
+        if want_batch:
+            for ad in ranked:
+                if ad.speaks_batch:
+                    return ad
+            # no batch speaker left: per-key fallback on the best remaining
+        return ranked[0]
+
+    def _note_version_mismatch(self, ad: ServerAdvertisement) -> None:
+        """Record (once per server) that it cannot serve our batch version."""
+        if ad.address in self._mismatch_noted:
+            return
+        self._mismatch_noted.add(ad.address)
+        self.stats.version_mismatches += 1
+        self.reputation.record(ad.address, EVENT_VERSION_MISMATCH, self._now())
+
+    def _on_fraud(self, ad: ServerAdvertisement, exc: FraudDetected) -> None:
+        """Escalate provable fraud: witness submission → on-chain slash."""
+        self.stats.frauds_detected += 1
+        self._retire_session(ad.address)
+        kind = EVENT_FRAUD_DETECTED
+        if exc.package is not None and self.witness is not None:
+            try:
+                self.witness.submit(exc.package)
+                self.stats.frauds_slashed += 1
+                kind = EVENT_FRAUD_SLASHED
+            except FraudProofError:
+                pass  # evidence did not stick on-chain; local penalty stands
+        self.reputation.record(ad.address, kind, self._now())
+
+    # ------------------------------------------------------------------ #
+    # Typed conveniences (mirror LightClientSession's)
+    # ------------------------------------------------------------------ #
+
+    def get_balance(self, address: Address) -> int:
+        outcome = self.request("eth_getBalance", address)
+        return decode_balance(outcome.response.result)
+
+    def get_balances(self, addresses: Sequence[Address]) -> list[int]:
+        calls = [RpcCall.create("eth_getBalance", a) for a in addresses]
+        outcome = self.query_batch(calls)
+        balances = []
+        for item in outcome.items:
+            if not item.ok:
+                raise MarketplaceError(
+                    f"balance query failed for {item.call.params[0].hex()}"
+                )
+            balances.append(decode_balance(item.result))
+        return balances
+
+    # ------------------------------------------------------------------ #
+    # Settlement
+    # ------------------------------------------------------------------ #
+
+    def close_all(self) -> dict[Address, bytes]:
+        """Cooperatively close every bonded channel; returns close-tx hashes.
+
+        Retired channels (dropped after misbehavior but still open on-chain)
+        are settled too — at their *acked* amount, relayed through a server
+        we still trust when one is bonded, since the retired server's word
+        is exactly what we stopped taking.  A server that no longer answers
+        keeps its channel open (the on-chain dispute path still protects the
+        funds); everyone that settles cleanly gets a ``channel_settled``
+        reputation credit.
+        """
+        hashes: dict[Address, bytes] = {}
+        bonded = list(self.bonded_sessions().items())
+        relay = bonded[0][1].endpoint if bonded else None
+        settlable = [(a, s, True) for a, s in bonded] + [
+            (address, session, False) for address, session in self.retired
+            if session.state is LightClientState.BONDED
+        ]
+        for address, session, in_good_standing in settlable:
+            trusted_relay = relay if session.endpoint is not relay else None
+            try:
+                hashes[address] = session.close(relay=trusted_relay)
+            except Exception:  # noqa: BLE001 — unreachable server: leave open
+                self.reputation.record(address, EVENT_TIMEOUT, self._now())
+                continue
+            if in_good_standing:  # no settlement credit for retired servers
+                self.reputation.record(address, EVENT_CHANNEL_SETTLED,
+                                       self._now())
+        return hashes
+
+    def __repr__(self) -> str:
+        return (
+            f"MarketplaceClient(addr={self.address.hex()[:10]}…, "
+            f"sessions={len(self.bonded_sessions())}/{len(self.marketplace)}, "
+            f"queries={self.stats.queries}, failovers={self.stats.failovers})"
+        )

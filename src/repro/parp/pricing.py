@@ -27,6 +27,7 @@ __all__ = [
     "FlatFeeSchedule",
     "CallBasedFeeSchedule",
     "DEFAULT_FEE_SCHEDULE",
+    "REFERENCE_BASKET",
     "GWEI",
 ]
 
@@ -46,11 +47,29 @@ _DEFAULT_PRICES: dict[str, int] = {
 }
 
 
+#: the method mix marketplace scoring prices every provider against — the
+#: read-heavy basket dApp frontends actually send (cf. Table I traffic).
+REFERENCE_BASKET = (
+    "eth_getBalance",
+    "eth_getStorageAt",
+    "eth_blockNumber",
+    "eth_getTransactionReceipt",
+)
+
+
 class FeeSchedule:
     """Interface: what does one RPC call cost?"""
 
     def price(self, call: RpcCall) -> int:
         raise NotImplementedError
+
+    def reference_price(self, methods: Sequence[str] = REFERENCE_BASKET) -> int:
+        """Mean price of a standard call basket — the comparable sticker
+        price marketplace selection weighs reputation against."""
+        calls = [RpcCall.create(method) for method in methods]
+        if not calls:
+            raise ValueError("reference basket must not be empty")
+        return sum(self.price(call) for call in calls) // len(calls)
 
     def batch_price(self, calls: Sequence[RpcCall]) -> int:
         """Price of serving ``calls`` as one batch (one channel update).

@@ -5,6 +5,11 @@ clients could be one solution to this issue."  We keep an exponentially
 decayed event ledger per address; scores in [0, 1] weigh Proof-of-Serving
 receipts and guide the client's full-node selection (prefer long-lived,
 never-slashed nodes; distrust freshly minted identities).
+
+Event kinds are exported as constants so the client, server, marketplace,
+and tests share one vocabulary — ``record`` rejects unknown kinds even when
+an explicit weight is supplied, so a typo'd kind fails loudly instead of
+silently scoring zero.
 """
 
 from __future__ import annotations
@@ -14,17 +19,45 @@ from typing import Optional
 
 from ..crypto.keys import Address
 
-__all__ = ["ReputationEvent", "ReputationLedger"]
+__all__ = [
+    "EVENT_SERVED_OK",
+    "EVENT_CHANNEL_SETTLED",
+    "EVENT_INVALID_RESPONSE",
+    "EVENT_FRAUD_DETECTED",
+    "EVENT_FRAUD_SLASHED",
+    "EVENT_EQUIVOCATION",
+    "EVENT_TIMEOUT",
+    "EVENT_VERSION_MISMATCH",
+    "EVENT_WEIGHTS",
+    "EVENT_KINDS",
+    "ReputationEvent",
+    "ReputationLedger",
+]
+
+# -- the shared event-kind vocabulary -------------------------------------- #
+EVENT_SERVED_OK = "served_ok"                # verified valid response
+EVENT_CHANNEL_SETTLED = "channel_settled"    # clean cooperative closure
+EVENT_INVALID_RESPONSE = "invalid_response"  # unverifiable garbage
+EVENT_FRAUD_DETECTED = "fraud_detected"      # locally verified fraud evidence
+EVENT_FRAUD_SLASHED = "fraud_slashed"        # on-chain adjudicated fraud
+EVENT_EQUIVOCATION = "equivocation"          # served conflicting headers
+EVENT_TIMEOUT = "timeout"                    # broke the synchrony bound
+EVENT_VERSION_MISMATCH = "version_mismatch"  # advertised capability it lacks
 
 # event weights (positive builds trust, negative destroys it)
 EVENT_WEIGHTS = {
-    "served_ok": 1.0,          # verified valid response
-    "channel_settled": 5.0,    # clean cooperative closure
-    "invalid_response": -10.0, # unverifiable garbage
-    "fraud_slashed": -1000.0,  # on-chain adjudicated fraud
-    "equivocation": -100.0,    # served conflicting headers
-    "timeout": -2.0,           # broke the synchrony bound
+    EVENT_SERVED_OK: 1.0,
+    EVENT_CHANNEL_SETTLED: 5.0,
+    EVENT_INVALID_RESPONSE: -10.0,
+    EVENT_FRAUD_DETECTED: -200.0,
+    EVENT_FRAUD_SLASHED: -1000.0,
+    EVENT_EQUIVOCATION: -100.0,
+    EVENT_TIMEOUT: -2.0,
+    EVENT_VERSION_MISMATCH: -0.5,
 }
+
+#: every kind the ledger accepts; ``record`` raises on anything else.
+EVENT_KINDS = frozenset(EVENT_WEIGHTS)
 
 
 @dataclass(frozen=True)
@@ -51,13 +84,17 @@ class ReputationLedger:
 
     def record(self, subject: Address, kind: str, time: float,
                weight: Optional[float] = None) -> None:
+        if kind not in EVENT_KINDS:
+            raise ValueError(f"unknown reputation event kind {kind!r}")
         if weight is None:
-            if kind not in EVENT_WEIGHTS:
-                raise ValueError(f"unknown reputation event kind {kind!r}")
             weight = EVENT_WEIGHTS[kind]
         self._events.setdefault(subject, []).append(
             ReputationEvent(subject, kind, time, weight)
         )
+
+    def events_of(self, subject: Address) -> tuple[ReputationEvent, ...]:
+        """The raw event history for one address (oldest first)."""
+        return tuple(self._events.get(subject, ()))
 
     def raw_score(self, subject: Address, now: float) -> float:
         events = self._events.get(subject, [])

@@ -15,6 +15,7 @@ Deposit Module — the availability condition of Fig. 4.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -102,6 +103,14 @@ class FullNodeServer:
         #: re-reading hot keys between blocks skips the trie walk entirely.
         self.proof_cache: LRUCache = LRUCache(capacity=proof_cache_size)
         self._clock = clock  # callable returning seconds; defaults to chain time
+        # Multi-client session multiplexing: channel registration and each
+        # channel's payment accounting are serialized independently, so N
+        # concurrent clients (threads or interleaved sim events) cannot
+        # corrupt the (a, σ_a) pair that is the node's money.
+        self._registry_lock = threading.Lock()
+        self._channel_locks: dict[bytes, threading.Lock] = {}
+        self._stats_lock = threading.Lock()
+        self._cache_lock = threading.Lock()
 
     @property
     def address(self) -> Address:
@@ -112,13 +121,36 @@ class FullNodeServer:
             return int(self._clock())
         return self.node.chain.head.header.timestamp
 
+    def _channel_and_lock(self, alpha: bytes,
+                          ) -> tuple[Optional[ServerChannel],
+                                     Optional[threading.Lock]]:
+        with self._registry_lock:
+            channel = self.channels.get(alpha)
+            if channel is None:
+                return None, None
+            lock = self._channel_locks.get(alpha)
+            if lock is None:  # channel injected directly (tests, adoption)
+                lock = self._channel_locks[alpha] = threading.Lock()
+            return channel, lock
+
+    def _bump(self, field_name: str, amount: int = 1) -> None:
+        with self._stats_lock:
+            setattr(self.stats, field_name,
+                    getattr(self.stats, field_name) + amount)
+
+    @property
+    def open_channel_count(self) -> int:
+        """Channels currently multiplexed on this server (not yet closed)."""
+        with self._registry_lock:
+            return sum(1 for c in self.channels.values() if not c.closed)
+
     # ------------------------------------------------------------------ #
     # Connection setup (Algorithm 1, full-node side)
     # ------------------------------------------------------------------ #
 
     def handshake(self, msg: Handshake) -> HandshakeConfirm:
         """Consent to serve a light client; the confirmation expires."""
-        self.stats.handshakes += 1
+        self._bump("handshakes")
         expiry = self._now() + int(self.handshake_expiry)
         return HandshakeConfirm.build(self.key, msg.light_client, expiry)
 
@@ -130,7 +162,7 @@ class FullNodeServer:
         from the ``ChannelOpened`` event, registers the channel locally, and
         returns the counter-signed receipt of Algorithm 1 line 17.
         """
-        self.stats.bytes_in += len(raw_tx)
+        self._bump("bytes_in", len(raw_tx))
         try:
             tx = Transaction.decode(raw_tx)
         except TransactionError as exc:
@@ -151,10 +183,12 @@ class FullNodeServer:
         if event is None:
             raise ServeError("no ChannelOpened event for this transaction")
         alpha, light_client, budget = event
-        self.channels[alpha] = ServerChannel(
-            alpha=alpha, light_client=light_client, budget=budget,
-        )
-        self.stats.channels_opened += 1
+        with self._registry_lock:
+            self.channels[alpha] = ServerChannel(
+                alpha=alpha, light_client=light_client, budget=budget,
+            )
+            self._channel_locks[alpha] = threading.Lock()
+        self._bump("channels_opened")
         return OpenChannelReceipt.build(self.key, alpha)
 
     def _find_channel_opened(self, logs: tuple[LogEntry, ...],
@@ -208,37 +242,39 @@ class FullNodeServer:
 
     def serve_request(self, wire: bytes) -> bytes:
         """Verify, execute, prove, and sign one PARP request."""
-        self.stats.bytes_in += len(wire)
+        self._bump("bytes_in", len(wire))
         request = self._verify_request(wire)           # step (B)
         response = self._execute_and_sign(request)     # step (C)
         out = response.encode_wire()
-        self.stats.bytes_out += len(out)
-        self.stats.requests_served += 1
+        self._bump("bytes_out", len(out))
+        self._bump("requests_served")
         return out
 
     def _verify_request(self, wire: bytes) -> PARPRequest:
         try:
             request = PARPRequest.decode_wire(wire)
         except MessageError as exc:
-            self.stats.requests_rejected += 1
+            self._bump("requests_rejected")
             raise ServeError(f"undecodable request: {exc}") from exc
-        channel = self.channels.get(request.alpha)
+        channel, lock = self._channel_and_lock(request.alpha)
         if channel is None:
-            self.stats.requests_rejected += 1
+            self._bump("requests_rejected")
             raise ServeError(f"unknown channel {request.alpha.hex()}")
         try:
             request.verify(expected_sender=channel.light_client)
         except MessageError as exc:
-            self.stats.requests_rejected += 1
+            self._bump("requests_rejected")
             raise ServeError(f"request verification failed: {exc}") from exc
         price = self.fee_schedule.price(request.call)
-        previous = channel.latest_amount
-        try:
-            channel.accept_request_payment(request, min_increment=price)
-        except ChannelError as exc:
-            self.stats.requests_rejected += 1
-            raise ServeError(f"payment rejected: {exc}") from exc
-        self.stats.fees_earned += channel.latest_amount - previous
+        with lock:
+            previous = channel.latest_amount
+            try:
+                channel.accept_request_payment(request, min_increment=price)
+            except ChannelError as exc:
+                self._bump("requests_rejected")
+                raise ServeError(f"payment rejected: {exc}") from exc
+            earned = channel.latest_amount - previous
+        self._bump("fees_earned", earned)
         return request
 
     def _execute_and_sign(self, request: PARPRequest) -> PARPResponse:
@@ -289,11 +325,13 @@ class FullNodeServer:
         if call.method not in _CACHEABLE_METHODS:
             return execute_query(self.node, call, m_b)
         cache_key = (m_b, call.encode())
-        cached = self.proof_cache.get(cache_key)
+        with self._cache_lock:
+            cached = self.proof_cache.get(cache_key)
         if cached is not None:
             return cached
         result, proof = execute_query(self.node, call, m_b)
-        self.proof_cache.put(cache_key, (result, proof))
+        with self._cache_lock:
+            self.proof_cache.put(cache_key, (result, proof))
         return result, proof
 
     # ------------------------------------------------------------------ #
@@ -318,46 +356,48 @@ class FullNodeServer:
         batching: metadata, signatures, and shared trie levels are paid for
         once instead of N times.
         """
-        self.stats.bytes_in += len(wire)
+        self._bump("bytes_in", len(wire))
         batch = self._verify_batch(wire)               # step (B), once
         response = self._execute_batch_and_sign(batch)  # step (C), shared
         out = response.encode_wire()
-        self.stats.bytes_out += len(out)
-        self.stats.batches_served += 1
-        self.stats.batch_queries_served += len(batch.calls)
+        self._bump("bytes_out", len(out))
+        self._bump("batches_served")
+        self._bump("batch_queries_served", len(batch.calls))
         return out
 
     def _verify_batch(self, wire: bytes) -> BatchRequest:
         try:
             batch = BatchRequest.decode_wire(wire)
         except MessageError as exc:
-            self.stats.requests_rejected += 1
+            self._bump("requests_rejected")
             raise ServeError(f"undecodable batch request: {exc}") from exc
         if batch.version != BATCH_PROTOCOL_VERSION:
-            self.stats.requests_rejected += 1
+            self._bump("requests_rejected")
             raise ServeError(
                 f"unsupported batch protocol version {batch.version} "
                 f"(this server speaks {BATCH_PROTOCOL_VERSION})"
             )
-        channel = self.channels.get(batch.alpha)
+        channel, lock = self._channel_and_lock(batch.alpha)
         if channel is None:
-            self.stats.requests_rejected += 1
+            self._bump("requests_rejected")
             raise ServeError(f"unknown channel {batch.alpha.hex()}")
         try:
             batch.verify(expected_sender=channel.light_client)
         except MessageError as exc:
-            self.stats.requests_rejected += 1
+            self._bump("requests_rejected")
             raise ServeError(f"batch verification failed: {exc}") from exc
         price = self.fee_schedule.batch_price(batch.calls)
-        previous = channel.latest_amount
-        try:
-            channel.accept_request_payment(
-                batch, min_increment=price, queries=len(batch.calls),
-            )
-        except ChannelError as exc:
-            self.stats.requests_rejected += 1
-            raise ServeError(f"payment rejected: {exc}") from exc
-        self.stats.fees_earned += channel.latest_amount - previous
+        with lock:
+            previous = channel.latest_amount
+            try:
+                channel.accept_request_payment(
+                    batch, min_increment=price, queries=len(batch.calls),
+                )
+            except ChannelError as exc:
+                self._bump("requests_rejected")
+                raise ServeError(f"payment rejected: {exc}") from exc
+            earned = channel.latest_amount - previous
+        self._bump("fees_earned", earned)
         return batch
 
     def _execute_batch_and_sign(self, batch: BatchRequest) -> BatchResponse:
@@ -443,9 +483,10 @@ class FullNodeServer:
         ).sign(self.key)
 
     def mark_closed(self, alpha: bytes) -> None:
-        channel = self.channels.get(alpha)
+        channel, lock = self._channel_and_lock(alpha)
         if channel is not None:
-            channel.closed = True
+            with lock:
+                channel.closed = True
 
     def __repr__(self) -> str:
         return (
