@@ -28,7 +28,9 @@ from repro.workloads import AccountSet
 
 from .reporting import add_report
 
-CLIENT_COUNTS = (1, 5, 10, 20)
+#: raised to 50 once the overlay trie engine removed the per-request
+#: hashing/decoding bottleneck (PR 3) — the paper's sweep tops out at 20
+CLIENT_COUNTS = (1, 5, 10, 20, 50)
 #: requests per client per simulated second (the paper's rate)
 RATE = 2
 #: scaled-down duration (the paper used 120 s; the pipeline per request is
@@ -119,10 +121,10 @@ def test_fig7_scalability(benchmark):
     )
 
     # -- shape assertions ------------------------------------------------- #
-    cpu_20, mem_20 = ratios[CLIENT_COUNTS[-1]]
+    cpu_top, mem_top = ratios[CLIENT_COUNTS[-1]]  # N=50 since PR 3
     # PARP costs more than plain serving, but only by a small factor:
-    # the paper reports 3.43x CPU / 2.38x memory at N=20
-    assert 1.0 < cpu_20 < 30.0
-    assert mem_20 > 1.0
+    # the paper reports 3.43x CPU / 2.38x memory at its N=20 top end
+    assert 1.0 < cpu_top < 30.0
+    assert mem_top > 1.0
     # work scales with the number of clients (absolute CPU grows with N)
     assert absolute_cpu[10] > absolute_cpu[1] * 3

@@ -27,18 +27,23 @@ def index_key(index: int) -> bytes:
 
 
 def build_transaction_trie(transactions: list[Transaction]) -> MerklePatriciaTrie:
-    """The per-block transaction trie: rlp(i) -> tx.encode()."""
+    """The per-block transaction trie: rlp(i) -> tx.encode().
+
+    Built as one batch: all N puts land in the trie's write overlay and the
+    root is hashed in a single commit pass (O(distinct nodes), not O(N·depth))
+    when the caller reads ``root_hash``.
+    """
     trie = MerklePatriciaTrie()
-    for index, tx in enumerate(transactions):
-        trie.put(index_key(index), tx.encode())
+    trie.update({index_key(index): tx.encode()
+                 for index, tx in enumerate(transactions)})
     return trie
 
 
 def build_receipt_trie(receipts: list[Receipt]) -> MerklePatriciaTrie:
     """The per-block receipt trie: rlp(i) -> receipt.encode()."""
     trie = MerklePatriciaTrie()
-    for index, receipt in enumerate(receipts):
-        trie.put(index_key(index), receipt.encode())
+    trie.update({index_key(index): receipt.encode()
+                 for index, receipt in enumerate(receipts)})
     return trie
 
 

@@ -160,6 +160,9 @@ class Blockchain:
             if cumulative_gas + tx.gas_limit > self.config.gas_limit:
                 self.mempool.append(tx)  # defer to the next block
                 continue
+            # Per-tx commit point: snapshot() flushes the state overlay so a
+            # failing tx can be unwound by root; one hashing pass covers all
+            # of the previous tx's dirty nodes.
             snapshot = self.state.snapshot()
             try:
                 result = self.executor.apply(
@@ -172,9 +175,12 @@ class Blockchain:
             included.append(tx)
             cumulative_gas = result.receipt.cumulative_gas_used
 
+        # Sealing commit point: the last tx's writes are hashed here, and the
+        # tx/receipt tries are built batch-wise (one commit each).
+        state_root = self.state.commit()
         header = BlockHeader(
             parent_hash=parent.hash,
-            state_root=self.state.root_hash,
+            state_root=state_root,
             transactions_root=build_transaction_trie(included).root_hash,
             receipts_root=build_receipt_trie(receipts).root_hash,
             number=parent.number + 1,

@@ -8,6 +8,14 @@ have the same shape and size characteristics as real Ethereum proofs.
 All mutation goes straight through the tries and the node store is
 append-only, so a snapshot is just a state root, and reverting a failed
 contract call (or unwinding a speculative block) is ``revert(root)``.
+
+Hot-path plumbing: secure-trie key derivation (one ``keccak256`` per
+account access, ~280 µs of pure-Python hashing) is memoized in a bounded
+module-level table shared by every :class:`StateDB` instance — the
+per-request read views the PARP server creates all hit the same memo.
+Likewise the tries' decoded-node LRU is created once per world state and
+threaded through ``at_root``/``revert`` and every per-account storage trie,
+so historical views reuse each other's decode work.
 """
 
 from __future__ import annotations
@@ -16,6 +24,7 @@ from typing import Iterator, Optional
 
 from ..crypto import keccak256
 from ..crypto.keys import Address
+from ..metrics.cache import LRUCache
 from ..rlp import codec as rlp
 from ..trie.mpt import EMPTY_TRIE_ROOT, MerklePatriciaTrie
 from ..trie.proof import generate_proof
@@ -28,19 +37,38 @@ class InsufficientBalance(ValueError):
     """Raised when a transfer or fee debit exceeds the account balance."""
 
 
+#: memo for keccak256(address) / keccak256(slot) — bounded by wholesale
+#: clearing (cheaper than LRU bookkeeping on a path hit millions of times;
+#: one refill cycle costs exactly what the seed paid on *every* access).
+_SECURE_KEY_MEMO_MAX = 1 << 17
+_secure_key_memo: dict[bytes, bytes] = {}
+
+
+def _secure_key(raw: bytes) -> bytes:
+    key = _secure_key_memo.get(raw)
+    if key is None:
+        if len(_secure_key_memo) >= _SECURE_KEY_MEMO_MAX:
+            _secure_key_memo.clear()
+        key = keccak256(raw)
+        _secure_key_memo[raw] = key
+    return key
+
+
 def _storage_key(slot: bytes) -> bytes:
     if len(slot) != 32:
         raise ValueError(f"storage slots are 32 bytes, got {len(slot)}")
-    return keccak256(slot)
+    return _secure_key(slot)
 
 
 class StateDB:
     """Mutable world state with snapshot/revert and proof generation."""
 
     def __init__(self, db: Optional[dict[bytes, bytes]] = None,
-                 root_hash: bytes = EMPTY_TRIE_ROOT) -> None:
+                 root_hash: bytes = EMPTY_TRIE_ROOT,
+                 node_cache: Optional[LRUCache] = None) -> None:
         self._db: dict[bytes, bytes] = db if db is not None else {}
-        self._trie = MerklePatriciaTrie(self._db, root_hash)
+        self._trie = MerklePatriciaTrie(self._db, root_hash,
+                                        node_cache=node_cache)
 
     # ------------------------------------------------------------------ #
     # Accounts
@@ -48,24 +76,39 @@ class StateDB:
 
     @property
     def root_hash(self) -> bytes:
+        """The state root (commits any pending trie overlay writes)."""
         return self._trie.root_hash
+
+    @property
+    def node_cache(self) -> LRUCache:
+        """The decoded-node LRU shared by the account and storage tries."""
+        return self._trie.node_cache
+
+    def commit(self) -> bytes:
+        """Flush the account trie's write overlay; returns the state root.
+
+        This is the batch commit point: a block's worth of account writes is
+        hashed here in one pass over the distinct dirty nodes, instead of
+        once per ``set_account`` as the pre-overlay engine did.
+        """
+        return self._trie.commit()
 
     def get_account(self, address: Address) -> Account:
         """Fetch an account; absent addresses read as the empty account."""
-        raw = self._trie.get(keccak256(address.to_bytes()))
+        raw = self._trie.get(_secure_key(address.to_bytes()))
         if raw is None:
             return Account()
         return Account.decode(raw)
 
     def set_account(self, address: Address, account: Account) -> None:
-        key = keccak256(address.to_bytes())
+        key = _secure_key(address.to_bytes())
         if account.is_empty:
             self._trie.delete(key)
         else:
             self._trie.put(key, account.encode())
 
     def account_exists(self, address: Address) -> bool:
-        return self._trie.get(keccak256(address.to_bytes())) is not None
+        return self._trie.get(_secure_key(address.to_bytes())) is not None
 
     # -- balances ------------------------------------------------------- #
 
@@ -114,7 +157,7 @@ class StateDB:
         account = self.get_account(address)
         if account.storage_root == EMPTY_TRIE_ROOT:
             return b""
-        storage = MerklePatriciaTrie(self._db, account.storage_root)
+        storage = self._storage_trie(account.storage_root)
         raw = storage.get(key)
         if raw is None:
             return b""
@@ -126,7 +169,7 @@ class StateDB:
     def set_storage(self, address: Address, slot: bytes, value: bytes) -> None:
         """Write a storage slot; writing b'' deletes it (zeroing)."""
         account = self.get_account(address)
-        storage = MerklePatriciaTrie(self._db, account.storage_root)
+        storage = self._storage_trie(account.storage_root)
         key = _storage_key(slot)
         if value == b"":
             storage.delete(key)
@@ -134,30 +177,43 @@ class StateDB:
             storage.put(key, rlp.encode(value))
         self.set_account(address, account.with_storage_root(storage.root_hash))
 
+    def _storage_trie(self, storage_root: bytes) -> MerklePatriciaTrie:
+        """A per-account storage trie sharing the world's decoded-node LRU."""
+        return self._trie.at_root(storage_root)
+
     # ------------------------------------------------------------------ #
     # Snapshots & proofs
     # ------------------------------------------------------------------ #
 
     def snapshot(self) -> bytes:
-        """Capture the current state root for a later :meth:`revert`."""
-        return self._trie.root_hash
+        """Capture the current state root for a later :meth:`revert`.
+
+        Forces a commit of the trie overlay, so the returned root is always
+        resolvable from the append-only node store.
+        """
+        return self._trie.snapshot()
 
     def revert(self, root_hash: bytes) -> None:
         """Rewind to a prior snapshot (node store is append-only)."""
-        self._trie = MerklePatriciaTrie(self._db, root_hash)
+        self._trie = MerklePatriciaTrie(self._db, root_hash,
+                                        node_cache=self._trie.node_cache)
 
     def at_root(self, root_hash: bytes) -> "StateDB":
-        """A read view of the state at a historical root."""
-        return StateDB(self._db, root_hash)
+        """A read view of the state at a historical root.
+
+        Shares the node store *and* the decoded-node cache, so the
+        per-request views the serving layer creates are warm from the start.
+        """
+        return StateDB(self._db, root_hash, node_cache=self._trie.node_cache)
 
     def prove_account(self, address: Address) -> list[bytes]:
         """Merkle proof of the account record under the current state root."""
-        return generate_proof(self._trie, keccak256(address.to_bytes()))
+        return generate_proof(self._trie, _secure_key(address.to_bytes()))
 
     def prove_storage(self, address: Address, slot: bytes) -> list[bytes]:
         """Merkle proof of a storage slot under the account's storage root."""
         account = self.get_account(address)
-        storage = MerklePatriciaTrie(self._db, account.storage_root)
+        storage = self._storage_trie(account.storage_root)
         return generate_proof(storage, _storage_key(slot))
 
     def accounts(self) -> Iterator[tuple[bytes, Account]]:

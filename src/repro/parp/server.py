@@ -70,6 +70,32 @@ class ServeError(Exception):
     """
 
 
+class _SnapshotViewBackend:
+    """ChainBackend facade that memoizes per-height state read views.
+
+    Every proved query calls ``state_at(m_b)``; without this, each request
+    (and each item of a batch) builds a fresh :class:`StateDB` view.  The
+    chain is append-only and fork-free, so the state at a given height is
+    immutable once that block exists — views can be cached indefinitely and
+    shared across requests.  Combined with the trie's decoded-node LRU the
+    whole batch walks warm decoded nodes instead of re-decoding the root
+    path per item.
+    """
+
+    def __init__(self, node: FullNode, capacity: int = 16) -> None:
+        self._node = node
+        self._views = LRUCache(capacity=capacity)
+
+    def state_at(self, number: int):
+        # LRUCache is internally locked; racing duplicate view construction
+        # is safe (read views are idempotent, last write wins)
+        return self._views.get_or_put(number,
+                                      lambda: self._node.state_at(number))
+
+    def __getattr__(self, name):
+        return getattr(self._node, name)
+
+
 @dataclass
 class ServerStats:
     """Serving counters (feeds Fig. 7 and the Proof-of-Serving extension)."""
@@ -99,6 +125,9 @@ class FullNodeServer:
         self.handshake_expiry = handshake_expiry
         self.channels: dict[bytes, ServerChannel] = {}
         self.stats = ServerStats()
+        #: memoized per-height state views: batch items and concurrent
+        #: sessions pinned to the same snapshot share one warm StateDB.
+        self._backend = _SnapshotViewBackend(node)
         #: recent (result, proof) pairs keyed by (height, call): a dApp
         #: re-reading hot keys between blocks skips the trie walk entirely.
         self.proof_cache: LRUCache = LRUCache(capacity=proof_cache_size)
@@ -110,7 +139,6 @@ class FullNodeServer:
         self._registry_lock = threading.Lock()
         self._channel_locks: dict[bytes, threading.Lock] = {}
         self._stats_lock = threading.Lock()
-        self._cache_lock = threading.Lock()
 
     @property
     def address(self) -> Address:
@@ -321,17 +349,19 @@ class FullNodeServer:
         )
 
     def _execute_cached(self, call: RpcCall, m_b: int) -> tuple[bytes, list[bytes]]:
-        """Execute a query through the proof LRU when deterministic at m_b."""
+        """Execute a query through the proof LRU when deterministic at m_b.
+
+        Execution goes through the snapshot-view backend, so every query at
+        the same height reuses one cached StateDB read view.
+        """
         if call.method not in _CACHEABLE_METHODS:
-            return execute_query(self.node, call, m_b)
+            return execute_query(self._backend, call, m_b)
         cache_key = (m_b, call.encode())
-        with self._cache_lock:
-            cached = self.proof_cache.get(cache_key)
+        cached = self.proof_cache.get(cache_key)  # LRUCache locks internally
         if cached is not None:
             return cached
-        result, proof = execute_query(self.node, call, m_b)
-        with self._cache_lock:
-            self.proof_cache.put(cache_key, (result, proof))
+        result, proof = execute_query(self._backend, call, m_b)
+        self.proof_cache.put(cache_key, (result, proof))
         return result, proof
 
     # ------------------------------------------------------------------ #

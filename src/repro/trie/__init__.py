@@ -1,6 +1,11 @@
 """Merkle Patricia Trie substrate: authenticated storage + Merkle proofs."""
 
-from .mpt import EMPTY_TRIE_ROOT, MerklePatriciaTrie, TrieError
+from .mpt import (
+    DEFAULT_NODE_CACHE_CAPACITY,
+    EMPTY_TRIE_ROOT,
+    MerklePatriciaTrie,
+    TrieError,
+)
 from .nibbles import bytes_to_nibbles, hp_decode, hp_encode, nibbles_to_bytes
 from .proof import (
     ProofError,
@@ -10,9 +15,12 @@ from .proof import (
     verify_multiproof,
     verify_proof,
 )
+from .reference import NaiveMerklePatriciaTrie
 
 __all__ = [
     "MerklePatriciaTrie",
+    "NaiveMerklePatriciaTrie",
+    "DEFAULT_NODE_CACHE_CAPACITY",
     "EMPTY_TRIE_ROOT",
     "TrieError",
     "generate_proof",

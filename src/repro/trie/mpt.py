@@ -18,6 +18,26 @@ A *ref* is either the 32-byte keccak hash of the child's RLP encoding, or —
 when that encoding is shorter than 32 bytes — the decoded child node itself,
 inlined into the parent (Yellow Paper, eq. 195).  The root is always referred
 to by hash; the empty trie root is ``keccak256(rlp(b""))``.
+
+Write overlay with deferred hashing
+-----------------------------------
+
+Mutations never touch the hash layer.  ``put``/``delete`` rebuild the touched
+path as plain decoded lists held in memory (the *overlay*): a child reference
+inside the overlay is simply the child's decoded list, exactly the shape an
+inlined node already has.  RLP encoding and keccak hashing happen once per
+distinct node at :meth:`commit`, which flushes the overlay bottom-up into the
+backing store and returns the new root — the same dirty-node architecture
+Geth uses for its state trie.  Reading :attr:`root_hash` (or calling
+:meth:`snapshot`) commits implicitly, so the public contract is unchanged:
+roots are bit-for-bit identical to hashing eagerly on every ``put``, and
+``at_root``/snapshots keep working off root hashes.  What changes is the
+cost: a bulk ``update`` of N keys performs O(distinct dirty nodes) hash and
+encode operations instead of O(N × depth).
+
+Reads share a bounded decoded-node LRU (hash → decoded node) so that proof
+serving and repeated lookups stop paying ``rlp.decode`` once a node has been
+seen; views created via :meth:`at_root` share the cache with their parent.
 """
 
 from __future__ import annotations
@@ -25,6 +45,7 @@ from __future__ import annotations
 from typing import Iterator, Optional
 
 from ..crypto.keccak import KECCAK_EMPTY_RLP, keccak256
+from ..metrics.cache import LRUCache
 from ..rlp import codec as rlp
 from .nibbles import (
     Nibbles,
@@ -34,11 +55,21 @@ from .nibbles import (
     hp_encode,
 )
 
-__all__ = ["MerklePatriciaTrie", "EMPTY_TRIE_ROOT", "TrieError"]
+__all__ = [
+    "MerklePatriciaTrie",
+    "EMPTY_TRIE_ROOT",
+    "TrieError",
+    "DEFAULT_NODE_CACHE_CAPACITY",
+]
 
 EMPTY_TRIE_ROOT = KECCAK_EMPTY_RLP
 
 _BLANK = b""
+
+#: Default bound for the shared decoded-node LRU.  Sized so the upper levels
+#: of a multi-million-key trie (the part every lookup and proof traverses)
+#: stay resident; leaves churn through the tail.
+DEFAULT_NODE_CACHE_CAPACITY = 65536
 
 
 class TrieError(Exception):
@@ -46,20 +77,30 @@ class TrieError(Exception):
 
 
 class MerklePatriciaTrie:
-    """A hash-addressed Merkle Patricia Trie.
+    """A hash-addressed Merkle Patricia Trie with a write overlay.
 
-    Nodes whose RLP encoding is >= 32 bytes live in ``self._db`` keyed by
-    their keccak hash; smaller nodes are inlined in their parents.  The trie
-    is persistent-per-root: ``_db`` is append-only, so snapshots are simply
-    remembered root hashes (used by the chain's state history).
+    Committed nodes whose RLP encoding is >= 32 bytes live in ``self._db``
+    keyed by their keccak hash; smaller nodes are inlined in their parents.
+    The store is append-only, so snapshots are simply remembered root hashes
+    (used by the chain's state history).  Uncommitted mutations live as
+    decoded lists reachable from ``self._root_node`` and are hashed exactly
+    once, by :meth:`commit`.
     """
 
     def __init__(self, db: Optional[dict[bytes, bytes]] = None,
-                 root_hash: bytes = EMPTY_TRIE_ROOT) -> None:
+                 root_hash: bytes = EMPTY_TRIE_ROOT,
+                 node_cache: Optional[LRUCache] = None) -> None:
         self._db: dict[bytes, bytes] = db if db is not None else {}
         if root_hash != EMPTY_TRIE_ROOT and root_hash not in self._db:
             raise TrieError(f"unknown root hash {root_hash.hex()}")
-        self._root_hash = root_hash
+        #: committed root; None exactly while the overlay holds dirty nodes
+        self._root_hash: Optional[bytes] = root_hash
+        #: decoded working root while dirty (may be _BLANK after deletes)
+        self._root_node: rlp.Item = _BLANK
+        self._cache: LRUCache = (
+            node_cache if node_cache is not None
+            else LRUCache(capacity=DEFAULT_NODE_CACHE_CAPACITY)
+        )
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -67,54 +108,111 @@ class MerklePatriciaTrie:
 
     @property
     def root_hash(self) -> bytes:
-        """The 32-byte commitment to the entire current contents."""
-        return self._root_hash
+        """The 32-byte commitment to the entire current contents.
+
+        Reading the root forces a :meth:`commit` of any pending overlay, so
+        callers always observe a root resolvable from the backing store.
+        """
+        return self.commit()
 
     @property
     def db(self) -> dict[bytes, bytes]:
         """The backing node store (hash -> rlp(node))."""
         return self._db
 
+    @property
+    def node_cache(self) -> LRUCache:
+        """The shared decoded-node LRU (hash -> decoded node)."""
+        return self._cache
+
+    def commit(self) -> bytes:
+        """Hash + persist every dirty overlay node once; return the root.
+
+        Idempotent: with no pending writes this is a field read.  This is the
+        single place the engine pays ``rlp.encode`` + ``keccak256``, which is
+        what turns an N-key bulk load from O(N × depth) hashing round trips
+        into O(distinct dirty nodes).
+        """
+        if self._root_hash is not None:
+            return self._root_hash
+        node = self._root_node
+        if node == _BLANK:
+            self._root_hash = EMPTY_TRIE_ROOT
+        else:
+            ref = self._commit_node(node)
+            if isinstance(ref, bytes):
+                self._root_hash = ref
+            else:  # root encodes under 32 bytes: still stored by hash
+                encoded = rlp.encode(ref)
+                root = keccak256(encoded)
+                self._db[root] = encoded
+                self._cache.put(root, ref)
+                self._root_hash = root
+        self._root_node = _BLANK
+        return self._root_hash
+
     def get(self, key: bytes) -> Optional[bytes]:
         """Return the value stored under ``key``, or None when absent."""
-        node = self._resolve_root()
-        return self._get(node, bytes_to_nibbles(key))
+        return self._get(self._current_root(), bytes_to_nibbles(key))
 
     def put(self, key: bytes, value: bytes) -> None:
-        """Insert or update ``key``; empty values are disallowed (use delete)."""
+        """Insert or update ``key``; empty values are disallowed (use delete).
+
+        The write lands in the in-memory overlay; no hashing happens until
+        :meth:`commit` (or a :attr:`root_hash` read).
+        """
         if not isinstance(value, bytes):
             raise TypeError(f"trie values must be bytes, got {type(value).__name__}")
         if value == b"":
             raise ValueError("empty values are not storable; use delete()")
-        node = self._resolve_root()
-        new_node = self._put(node, bytes_to_nibbles(key), value)
-        self._set_root(new_node)
+        self._root_node = self._put(self._current_root(),
+                                    bytes_to_nibbles(key), value)
+        self._root_hash = None
 
     def delete(self, key: bytes) -> bool:
         """Remove ``key``; returns True when the key was present."""
-        node = self._resolve_root()
+        node = self._current_root()
         if self._get(node, bytes_to_nibbles(key)) is None:
             return False
-        new_node = self._delete(node, bytes_to_nibbles(key))
-        self._set_root(new_node)
+        self._root_node = self._delete(node, bytes_to_nibbles(key))
+        self._root_hash = None
         return True
 
     def update(self, items: dict[bytes, bytes]) -> None:
-        """Bulk insert (sorted for determinism of intermediate states)."""
-        for key in sorted(items):
-            self.put(key, items[key])
+        """Bulk insert: all writes share one overlay and one later commit.
+
+        The whole batch costs a single hashing pass over the distinct dirty
+        nodes when the root is next read.  No intermediate state is hashed
+        or persisted, so (unlike the eager reference engine) insertion
+        order is unobservable and the keys need no sorting.
+        """
+        for key, value in items.items():
+            self.put(key, value)
 
     def items(self) -> Iterator[tuple[bytes, bytes]]:
         """Iterate all (key, value) pairs in lexicographic key order."""
-        yield from self._iter(self._resolve_root(), ())
+        yield from self._iter(self._current_root(), ())
 
     def snapshot(self) -> bytes:
-        """Return the current root hash (re-attachable via the constructor)."""
-        return self._root_hash
+        """Commit and return the root hash (re-attachable via the constructor)."""
+        return self.commit()
 
     def at_root(self, root_hash: bytes) -> "MerklePatriciaTrie":
-        """A read view of this trie at a historical root (shared node store)."""
-        return MerklePatriciaTrie(self._db, root_hash)
+        """A read view of this trie at a historical root.
+
+        Shares both the node store and the decoded-node cache, so views
+        created per-request (the PARP serving path) reuse each other's
+        decode work.
+        """
+        return MerklePatriciaTrie(self._db, root_hash, node_cache=self._cache)
+
+    def load_node(self, node_hash: bytes) -> rlp.Item:
+        """Decoded node for ``node_hash``, through the shared LRU.
+
+        Used by the proof generator so serving a proof costs dictionary
+        lookups, not one ``rlp.decode`` per node per request.
+        """
+        return self._load(node_hash)
 
     def __contains__(self, key: bytes) -> bool:
         return self.get(key) is not None
@@ -126,28 +224,33 @@ class MerklePatriciaTrie:
     # Node store plumbing
     # ------------------------------------------------------------------ #
 
-    def _resolve_root(self) -> rlp.Item:
+    def _current_root(self) -> rlp.Item:
+        """The working root node: overlay if dirty, else store-resident."""
+        if self._root_hash is None:
+            return self._root_node
         if self._root_hash == EMPTY_TRIE_ROOT:
             return _BLANK
         return self._load(self._root_hash)
 
-    def _set_root(self, node: rlp.Item) -> None:
-        if node == _BLANK:
-            self._root_hash = EMPTY_TRIE_ROOT
-            return
-        encoded = rlp.encode(node)
-        node_hash = keccak256(encoded)
-        self._db[node_hash] = encoded
-        self._root_hash = node_hash
-
     def _load(self, node_hash: bytes) -> rlp.Item:
+        node = self._cache.get(node_hash)
+        if node is not None:
+            return node
         encoded = self._db.get(node_hash)
         if encoded is None:
             raise TrieError(f"missing trie node {node_hash.hex()}")
-        return rlp.decode(encoded)
+        node = rlp.decode(encoded)
+        self._cache.put(node_hash, node)
+        return node
 
     def _resolve(self, ref: rlp.Item) -> rlp.Item:
-        """Follow a child reference: hash -> stored node, inline node -> itself."""
+        """Follow a child reference: hash -> stored node, node -> itself.
+
+        A list reference is either an inlined sub-32-byte node or a dirty
+        overlay node; both are already decoded.  Resolved nodes are shared
+        (cache or sibling trees) and must never be mutated in place — the
+        mutation paths below always build fresh lists.
+        """
         if isinstance(ref, bytes):
             if ref == _BLANK:
                 return _BLANK
@@ -156,15 +259,38 @@ class MerklePatriciaTrie:
             raise TrieError(f"invalid node reference of {len(ref)} bytes")
         return ref
 
-    def _store(self, node: rlp.Item) -> rlp.Item:
-        """Turn a node into a parent-embeddable reference (hash or inline)."""
-        if node == _BLANK:
-            return _BLANK
-        encoded = rlp.encode(node)
+    def _commit_node(self, node: list) -> rlp.Item:
+        """Flush one overlay subtree bottom-up; return its parent reference.
+
+        List-valued children are recursively committed first (a leaf's value
+        is bytes, so only extension children and branch slots recurse); then
+        this node is encoded once and either stored under its hash or, when
+        it encodes under 32 bytes, returned whole for inlining.
+        """
+        if len(node) == 17:
+            out: Optional[list] = None
+            for i in range(16):
+                child = node[i]
+                if isinstance(child, list):
+                    ref = self._commit_node(child)
+                    if ref is not child:
+                        if out is None:
+                            out = list(node)
+                        out[i] = ref
+            committed: rlp.Item = out if out is not None else node
+        else:  # leaf (value is bytes) or extension (child may be a list)
+            committed = node
+            child = node[1]
+            if isinstance(child, list):
+                ref = self._commit_node(child)
+                if ref is not child:
+                    committed = [node[0], ref]
+        encoded = rlp.encode(committed)
         if len(encoded) < 32:
-            return node
+            return committed
         node_hash = keccak256(encoded)
         self._db[node_hash] = encoded
+        self._cache.put(node_hash, committed)
         return node_hash
 
     # ------------------------------------------------------------------ #
@@ -194,7 +320,7 @@ class MerklePatriciaTrie:
             path = path[len(node_path):]
 
     # ------------------------------------------------------------------ #
-    # Insertion
+    # Insertion (overlay: children are linked as decoded lists, no hashing)
     # ------------------------------------------------------------------ #
 
     def _put(self, node: rlp.Item, path: Nibbles, value: bytes) -> rlp.Item:
@@ -213,7 +339,7 @@ class MerklePatriciaTrie:
             new_node[16] = value
             return new_node
         child = self._resolve(node[path[0]])
-        new_node[path[0]] = self._store(self._put(child, path[1:], value))
+        new_node[path[0]] = self._put(child, path[1:], value)
         return new_node
 
     def _put_leaf(self, node: list, node_path: Nibbles, path: Nibbles,
@@ -225,19 +351,17 @@ class MerklePatriciaTrie:
         # place the existing leaf under the branch
         old_rest = node_path[shared:]
         if old_rest:
-            leaf = [hp_encode(old_rest[1:], is_leaf=True), node[1]]
-            branch[old_rest[0]] = self._store(leaf)
+            branch[old_rest[0]] = [hp_encode(old_rest[1:], is_leaf=True), node[1]]
         else:
             branch[16] = node[1]
         # place the new value under the branch
         new_rest = path[shared:]
         if new_rest:
-            leaf = [hp_encode(new_rest[1:], is_leaf=True), value]
-            branch[new_rest[0]] = self._store(leaf)
+            branch[new_rest[0]] = [hp_encode(new_rest[1:], is_leaf=True), value]
         else:
             branch[16] = value
         if shared:
-            return [hp_encode(path[:shared], is_leaf=False), self._store(branch)]
+            return [hp_encode(path[:shared], is_leaf=False), branch]
         return branch
 
     def _put_extension(self, node: list, node_path: Nibbles, path: Nibbles,
@@ -245,24 +369,21 @@ class MerklePatriciaTrie:
         shared = common_prefix_length(node_path, path)
         if shared == len(node_path):  # descend through the extension
             child = self._resolve(node[1])
-            new_child = self._put(child, path[shared:], value)
-            return [node[0], self._store(new_child)]
+            return [node[0], self._put(child, path[shared:], value)]
         # split the extension at the divergence point
         branch: list = [_BLANK] * 17
         ext_rest = node_path[shared:]
         if len(ext_rest) == 1:
             branch[ext_rest[0]] = node[1]
         else:
-            sub_ext = [hp_encode(ext_rest[1:], is_leaf=False), node[1]]
-            branch[ext_rest[0]] = self._store(sub_ext)
+            branch[ext_rest[0]] = [hp_encode(ext_rest[1:], is_leaf=False), node[1]]
         new_rest = path[shared:]
         if new_rest:
-            leaf = [hp_encode(new_rest[1:], is_leaf=True), value]
-            branch[new_rest[0]] = self._store(leaf)
+            branch[new_rest[0]] = [hp_encode(new_rest[1:], is_leaf=True), value]
         else:
             branch[16] = value
         if shared:
-            return [hp_encode(path[:shared], is_leaf=False), self._store(branch)]
+            return [hp_encode(path[:shared], is_leaf=False), branch]
         return branch
 
     # ------------------------------------------------------------------ #
@@ -289,7 +410,7 @@ class MerklePatriciaTrie:
             new_node[16] = _BLANK
         else:
             child = self._resolve(node[path[0]])
-            new_node[path[0]] = self._store(self._delete(child, path[1:]))
+            new_node[path[0]] = self._delete(child, path[1:])
         return self._normalize_branch(new_node)
 
     def _normalize_branch(self, node: list) -> rlp.Item:
@@ -311,7 +432,7 @@ class MerklePatriciaTrie:
         if child == _BLANK:
             return _BLANK
         if len(child) == 17:
-            return [hp_encode(prefix, is_leaf=False), self._store(child)]
+            return [hp_encode(prefix, is_leaf=False), child]
         child_path, is_leaf = hp_decode(child[0])
         merged = prefix + child_path
         return [hp_encode(merged, is_leaf=is_leaf), child[1]]

@@ -17,7 +17,7 @@ from typing import Iterable, Optional, Sequence
 
 from ..crypto.keccak import keccak256
 from ..rlp import codec as rlp
-from .mpt import EMPTY_TRIE_ROOT, MerklePatriciaTrie, TrieError
+from .mpt import EMPTY_TRIE_ROOT, MerklePatriciaTrie
 from .nibbles import bytes_to_nibbles, hp_decode
 
 __all__ = [
@@ -42,21 +42,34 @@ def generate_proof(trie: MerklePatriciaTrie, key: bytes) -> list[bytes]:
     Works for both present keys (inclusion) and absent keys (exclusion: the
     proof shows the path dead-ends).  Inlined sub-32-byte nodes are embedded
     in their parents' encodings and therefore not listed separately.
+
+    Fast path: the proof's node *bytes* come straight from the trie's backing
+    store, while traversal runs over the trie's decoded-node cache
+    (:meth:`~repro.trie.mpt.MerklePatriciaTrie.load_node`), so serving a hot
+    key costs dictionary lookups instead of one ``rlp.decode`` per node per
+    request.  A node missing from the store mid-walk is a corrupt-store
+    condition and is reported as a :class:`ProofError` carrying the root, the
+    key, and the depth at which proving failed.
     """
     proof: list[bytes] = []
-    if trie.root_hash == EMPTY_TRIE_ROOT:
+    root_hash = trie.root_hash  # commits any pending overlay writes
+    if root_hash == EMPTY_TRIE_ROOT:
         return proof
     path = bytes_to_nibbles(key)
-    ref: rlp.Item = trie.root_hash
+    ref: rlp.Item = root_hash
     while True:
         if isinstance(ref, bytes):
             if ref == _BLANK:
                 return proof
             encoded = trie.db.get(ref)
             if encoded is None:
-                raise TrieError(f"missing trie node {ref.hex()} during proving")
+                raise ProofError(
+                    f"missing trie node {ref.hex()} while proving key "
+                    f"{key.hex()} under root {root_hash.hex()} "
+                    f"(depth {len(proof)})"
+                )
             proof.append(encoded)
-            node = rlp.decode(encoded)
+            node = trie.load_node(ref)  # cached decode; store hit proven above
         else:
             node = ref  # inline node: already part of the parent's encoding
         if len(node) == 17:
