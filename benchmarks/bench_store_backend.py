@@ -1,0 +1,185 @@
+"""Node-store backend benchmark: in-memory dict vs append-only disk log.
+
+The persistent backend is what lets a PARP full node hold multi-million-
+account state tries that do not fit in RAM — but it must not give back the
+serving throughput the overlay engine and decoded-node LRU bought.  This
+bench builds the same ``STORE_BENCH_ACCOUNTS``-account secure-trie-shaped
+state on both backends and measures:
+
+* **bulk insert** — overlay build + one commit (for the disk store that is
+  the atomic, checksummed, fsynced batch append);
+* **proof serving** — single-key account proofs, cold (empty decoded-node
+  LRU, the disk store actually reading the log) and steady-state (warm LRU,
+  where both backends should converge because hot nodes never touch disk);
+* **reopen** — close the log, reopen it (recovery scan rebuilds the offset
+  index), and serve §V-D-verified single and multi proofs bit-identical to
+  the memory run.
+
+Correctness is gated (roots and proof bytes identical across backends and
+across the close/reopen boundary); throughput numbers are reported to
+``BENCH_store.json`` (uploaded by CI like ``BENCH_trie.json``) — absolute
+disk rates are machine-dependent, so they are tracked, not gated.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import tempfile
+import time
+
+from repro.chain.account import Account
+from repro.metrics import render_table
+from repro.metrics.cache import LRUCache
+from repro.storage import AppendOnlyFileStore, MemoryNodeStore
+from repro.trie import (
+    DEFAULT_NODE_CACHE_CAPACITY,
+    MerklePatriciaTrie,
+    generate_multiproof,
+    generate_proof,
+    verify_multiproof,
+    verify_proof,
+)
+
+from .reporting import add_report, write_json_series
+
+#: accounts in the bulk-insert phase (paper-scale default 100k; CI shrinks
+#: it via the environment, like TRIE_BENCH_ACCOUNTS)
+ACCOUNTS = int(os.environ.get("STORE_BENCH_ACCOUNTS", "100000"))
+#: single-key proofs measured per backend and temperature
+PROOF_REQUESTS = min(ACCOUNTS, 2000)
+#: keys per multiproof batch served from the reopened store
+MULTIPROOF_BATCH = 32
+
+
+def _account_items(count: int) -> dict[bytes, bytes]:
+    """Secure-trie shaped state: uniform 32-byte keys -> RLP account records."""
+    rng = random.Random(0xD15C)
+    return {
+        rng.randbytes(32): Account(nonce=i % 5, balance=10 ** 18 + i).encode()
+        for i in range(count)
+    }
+
+
+def _measure_proofs(trie: MerklePatriciaTrie, probes: list[bytes]) -> float:
+    start = time.perf_counter()
+    for key in probes:
+        generate_proof(trie, key)
+    return len(probes) / (time.perf_counter() - start)
+
+
+def test_store_backend(benchmark):
+    items = _account_items(ACCOUNTS)
+    keys = list(items)
+    rng = random.Random(7)
+    probes = rng.choices(keys, k=PROOF_REQUESTS)
+
+    with tempfile.TemporaryDirectory(prefix="bench-store-") as tmp:
+        log_path = os.path.join(tmp, "nodes.log")
+
+        # -- bulk insert: memory --------------------------------------- #
+        memory = MerklePatriciaTrie(MemoryNodeStore())
+        start = time.perf_counter()
+        memory.update(items)
+        memory_root = memory.commit()
+        memory_insert_s = time.perf_counter() - start
+
+        # -- bulk insert: disk (one atomic fsynced batch) --------------- #
+        store = AppendOnlyFileStore(log_path)
+        disk = MerklePatriciaTrie(store)
+        start = time.perf_counter()
+        disk.update(items)
+        disk_root = disk.commit()
+        disk_insert_s = time.perf_counter() - start
+        assert disk_root == memory_root, "backends disagree on the state root"
+        log_bytes = store.stats.bytes_appended
+
+        # -- proof serving: steady state (warm LRU) --------------------- #
+        memory_warm = _measure_proofs(memory, probes)
+        disk_warm = _measure_proofs(disk, probes)
+        store.close()
+
+        # -- close / reopen: recovery scan ------------------------------ #
+        start = time.perf_counter()
+        reopened = AppendOnlyFileStore(log_path)
+        recovery_s = time.perf_counter() - start
+        assert reopened.last_root == memory_root
+
+        # -- proof serving: cold ---------------------------------------- #
+        # memory: fresh decoded-node LRU over the same store; disk: the
+        # freshly reopened store, so both its decoded LRU *and* its
+        # encoded-bytes read cache start empty and every miss is a real
+        # log read
+        memory_cold_view = MerklePatriciaTrie(
+            memory.db, memory_root,
+            node_cache=LRUCache(capacity=DEFAULT_NODE_CACHE_CAPACITY))
+        memory_cold = _measure_proofs(memory_cold_view, probes)
+        revived = MerklePatriciaTrie(reopened, reopened.last_root)
+        disk_cold = _measure_proofs(revived, probes)
+
+        # -- serve §V-D-verified proofs from the reopened store --------- #
+        sample = rng.sample(keys, k=min(len(keys), 200))
+        for key in sample:
+            proof = generate_proof(revived, key)
+            assert proof == generate_proof(memory, key)
+            assert verify_proof(memory_root, key, proof) == items[key]
+        batch = sample[:MULTIPROOF_BATCH]
+        pool = generate_multiproof(revived, batch)
+        assert pool == generate_multiproof(memory, batch)
+        answers = verify_multiproof(memory_root, batch, pool)
+        assert all(answers[key] == items[key] for key in batch)
+        reopened.close()
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    payload = {
+        "accounts": ACCOUNTS,
+        "proof_requests": PROOF_REQUESTS,
+        "state_root": memory_root.hex(),
+        "bulk_insert": {
+            "memory_keys_per_sec": round(ACCOUNTS / memory_insert_s, 1),
+            "disk_keys_per_sec": round(ACCOUNTS / disk_insert_s, 1),
+            "disk_overhead": round(disk_insert_s / memory_insert_s, 3),
+        },
+        "proof_serving": {
+            "memory_warm_per_sec": round(memory_warm, 1),
+            "disk_warm_per_sec": round(disk_warm, 1),
+            "memory_cold_per_sec": round(memory_cold, 1),
+            "disk_cold_per_sec": round(disk_cold, 1),
+            "warm_ratio_disk_vs_memory": round(disk_warm / memory_warm, 3),
+        },
+        "reopen": {
+            "recovery_seconds": round(recovery_s, 3),
+            "log_bytes": log_bytes,
+            "verified_single_proofs": len(sample),
+            "verified_multiproof_batch": len(batch),
+        },
+    }
+    write_json_series("BENCH_store", payload)
+
+    add_report(
+        f"Node-store backends: memory vs append-only disk "
+        f"({ACCOUNTS} accounts)",
+        render_table(
+            ["phase", "memory", "disk", "disk/mem"],
+            [
+                ("bulk insert",
+                 f"{ACCOUNTS / memory_insert_s:,.0f} keys/s",
+                 f"{ACCOUNTS / disk_insert_s:,.0f} keys/s",
+                 f"{memory_insert_s / disk_insert_s:.2f}x"),
+                ("proof serving (warm LRU)",
+                 f"{memory_warm:,.0f} proofs/s",
+                 f"{disk_warm:,.0f} proofs/s",
+                 f"{disk_warm / memory_warm:.2f}x"),
+                ("proof serving (cold LRU)",
+                 f"{memory_cold:,.0f} proofs/s",
+                 f"{disk_cold:,.0f} proofs/s",
+                 f"{disk_cold / memory_cold:.2f}x"),
+                ("reopen (recovery scan)",
+                 "—",
+                 f"{recovery_s * 1000:,.0f} ms "
+                 f"({log_bytes / 2**20:.1f} MiB log)",
+                 "—"),
+            ],
+        ),
+    )

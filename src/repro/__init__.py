@@ -6,6 +6,8 @@ Layering (bottom up):
 * :mod:`repro.crypto`, :mod:`repro.rlp`, :mod:`repro.trie` — Ethereum
   primitives implemented from scratch (Keccak-256, secp256k1 ECDSA with
   recovery, RLP, Merkle Patricia Tries with proofs).
+* :mod:`repro.storage` — pluggable node-store backends for the tries:
+  in-memory (dict) or an append-only disk log with crash-safe commits.
 * :mod:`repro.chain`, :mod:`repro.vm`, :mod:`repro.contracts` — the
   devnet chain, the gas-metered contract runtime, and the three PARP
   on-chain modules (deposits, channels, fraud detection).

@@ -16,9 +16,11 @@ depend on :mod:`repro.vm`; :mod:`repro.node.devnet` wires them together.
 from __future__ import annotations
 
 import time as _time
-from typing import Callable, Optional, Protocol
+from typing import Callable, Optional, Protocol, Union
 
 from ..crypto.keys import Address
+from ..storage.nodestore import NodeStore, as_node_store
+from ..trie.mpt import EMPTY_TRIE_ROOT
 from .block import Block, build_receipt_trie, build_transaction_trie
 from .genesis import GenesisConfig, make_genesis_block
 from .header import BlockHeader
@@ -50,9 +52,27 @@ class Blockchain:
 
     def __init__(self, genesis: GenesisConfig,
                  executor: Optional[TransactionExecutorProtocol] = None,
-                 block_context_factory: Optional[Callable] = None) -> None:
+                 block_context_factory: Optional[Callable] = None,
+                 db: Union[None, dict, NodeStore, str] = None) -> None:
         self.config = genesis
-        self.db: dict[bytes, bytes] = {}
+        #: the node store every state trie (and historical view) reads
+        #: through — in-memory by default, disk-backed when the operator
+        #: passes an AppendOnlyFileStore / path (``--state-dir``).
+        self.db: NodeStore = as_node_store(db)
+        if self.db.last_root != EMPTY_TRIE_ROOT:
+            # The chain's history (blocks/receipts) is not persisted, so a
+            # populated store cannot be replayed into — it can only be
+            # reattached read-side.  Refusing keeps store.last_root (the
+            # crash-recovery reattachment point) exactly where the previous
+            # run committed it.
+            if self.db is not db:
+                self.db.close()  # we opened/wrapped it; don't leak the handle
+            raise ChainError(
+                "node store already contains committed state (last root "
+                f"{self.db.last_root.hex()[:16]}…); chain replay from a "
+                "persistent store is not yet supported — reattach with "
+                "StateDB(store, store.last_root)"
+            )
         self.state = StateDB(self.db)
         genesis_block = make_genesis_block(genesis, self.state)
         self._blocks: list[Block] = [genesis_block]

@@ -10,22 +10,40 @@ append-only, so a snapshot is just a state root, and reverting a failed
 contract call (or unwinding a speculative block) is ``revert(root)``.
 
 Hot-path plumbing: secure-trie key derivation (one ``keccak256`` per
-account access, ~280 µs of pure-Python hashing) is memoized in a bounded
-module-level table shared by every :class:`StateDB` instance — the
-per-request read views the PARP server creates all hit the same memo.
-Likewise the tries' decoded-node LRU is created once per world state and
-threaded through ``at_root``/``revert`` and every per-account storage trie,
-so historical views reuse each other's decode work.
+account access, ~280 µs of pure-Python hashing) is memoized in a bounded,
+locked LRU shared by every :class:`StateDB` instance — the per-request read
+views the PARP server creates all hit the same memo, including from
+concurrent sessions.  Likewise the tries' decoded-node LRU is created once
+per world state and threaded through ``at_root``/``revert`` and every
+per-account storage trie, so historical views reuse each other's decode
+work.
+
+Storage-write batching: ``set_storage`` does *not* re-derive the account's
+``storage_root`` per slot.  Dirty per-account storage tries accumulate in
+an overlay map and are each flushed exactly once at :meth:`StateDB.commit`
+(``snapshot``/``root_hash`` flush them too, but as *staging* commits),
+which is when the account records pick up their new storage roots — the
+same deferred-hashing win the account trie got in PR 3, extended to
+SSTORE-heavy contract workloads.  Reads of dirty slots see the uncommitted
+values; ``revert`` drops the dirty map.  Only ``commit()`` itself cuts a
+durable store batch, so on a disk backend one sealed block is one atomic,
+fsynced write tagged with the header's state root.
+
+Persistence: the backing node store is pluggable
+(:mod:`repro.storage`) — pass a dict / ``MemoryNodeStore`` for the seed's
+in-memory behaviour, an :class:`~repro.storage.AppendOnlyFileStore` (or a
+path) for a disk-resident state that survives restarts.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Union
 
 from ..crypto import keccak256
 from ..crypto.keys import Address
 from ..metrics.cache import LRUCache
 from ..rlp import codec as rlp
+from ..storage.nodestore import NodeStore, as_node_store
 from ..trie.mpt import EMPTY_TRIE_ROOT, MerklePatriciaTrie
 from ..trie.proof import generate_proof
 from .account import Account
@@ -37,20 +55,19 @@ class InsufficientBalance(ValueError):
     """Raised when a transfer or fee debit exceeds the account balance."""
 
 
-#: memo for keccak256(address) / keccak256(slot) — bounded by wholesale
-#: clearing (cheaper than LRU bookkeeping on a path hit millions of times;
-#: one refill cycle costs exactly what the seed paid on *every* access).
+#: memo for keccak256(address) / keccak256(slot) — a bounded, locked LRU
+#: shared process-wide.  The seed used a module dict cleared wholesale at
+#: capacity, which cold-started the whole memo periodically and raced under
+#: the concurrent-session server; the LRU evicts one-at-a-time under a lock.
 _SECURE_KEY_MEMO_MAX = 1 << 17
-_secure_key_memo: dict[bytes, bytes] = {}
+_secure_key_memo: LRUCache = LRUCache(capacity=_SECURE_KEY_MEMO_MAX)
 
 
 def _secure_key(raw: bytes) -> bytes:
     key = _secure_key_memo.get(raw)
     if key is None:
-        if len(_secure_key_memo) >= _SECURE_KEY_MEMO_MAX:
-            _secure_key_memo.clear()
         key = keccak256(raw)
-        _secure_key_memo[raw] = key
+        _secure_key_memo.put(raw, key)
     return key
 
 
@@ -63,12 +80,19 @@ def _storage_key(slot: bytes) -> bytes:
 class StateDB:
     """Mutable world state with snapshot/revert and proof generation."""
 
-    def __init__(self, db: Optional[dict[bytes, bytes]] = None,
+    def __init__(self, db: Union[None, dict, NodeStore, str] = None,
                  root_hash: bytes = EMPTY_TRIE_ROOT,
                  node_cache: Optional[LRUCache] = None) -> None:
-        self._db: dict[bytes, bytes] = db if db is not None else {}
+        self._db: NodeStore = as_node_store(db)
         self._trie = MerklePatriciaTrie(self._db, root_hash,
                                         node_cache=node_cache)
+        #: per-address dirty storage tries: mutated since the last commit,
+        #: their accounts' storage_root fields not yet re-derived
+        self._dirty_storage: dict[Address, MerklePatriciaTrie] = {}
+        #: commit-count probe: how many storage tries have been flushed over
+        #: this instance's lifetime (one per dirty account per commit — the
+        #: regression tests pin this against the per-slot-commit seed).
+        self.storage_trie_commits: int = 0
 
     # ------------------------------------------------------------------ #
     # Accounts
@@ -76,25 +100,65 @@ class StateDB:
 
     @property
     def root_hash(self) -> bytes:
-        """The state root (commits any pending trie overlay writes)."""
-        return self._trie.root_hash
+        """The state root (commits pending storage + account overlays).
+
+        A *staging* commit: reading the root mid-block must never cut a
+        durable store batch, or crash recovery could land on a root no
+        header commits to.  Durability is cut by :meth:`commit` — the
+        block-sealing call."""
+        return self.commit(flush_store=False)
 
     @property
     def node_cache(self) -> LRUCache:
         """The decoded-node LRU shared by the account and storage tries."""
         return self._trie.node_cache
 
-    def commit(self) -> bytes:
-        """Flush the account trie's write overlay; returns the state root.
+    @property
+    def node_store(self) -> NodeStore:
+        """The backing node store shared by the account and storage tries."""
+        return self._db
 
-        This is the batch commit point: a block's worth of account writes is
-        hashed here in one pass over the distinct dirty nodes, instead of
-        once per ``set_account`` as the pre-overlay engine did.
+    def commit(self, flush_store: bool = True) -> bytes:
+        """Flush dirty storage tries, then the account trie; returns the root.
+
+        This is the batch commit point: each account's storage trie touched
+        since the last commit is hashed here in one pass (its account record
+        picking up the new ``storage_root``), then a block's worth of account
+        writes is hashed in one pass over the distinct dirty nodes.  The
+        account trie commits *last* and storage flushes are staged, so a
+        durable node store sees exactly one batch, tagged with the state
+        root — the recovery point after a crash.
+
+        ``flush_store=False`` stages everything in the store without cutting
+        a durable batch — the per-transaction commit points inside block
+        building use it (via :meth:`snapshot`) so that a *sealed block* is
+        the store's atomicity unit and crash recovery can only land on a
+        header-committed state root.
         """
-        return self._trie.commit()
+        if self._dirty_storage:
+            dirty, self._dirty_storage = self._dirty_storage, {}
+            for address, storage in dirty.items():
+                account = self.get_account(address)
+                new_root = storage.commit(flush_store=False)
+                self.storage_trie_commits += 1
+                self.set_account(address, account.with_storage_root(new_root))
+        # The store is tagged here, not inside the trie: even when the
+        # account trie is already clean (e.g. the block's last transaction
+        # failed and was reverted to the previous per-tx snapshot), nodes
+        # staged by earlier flush_store=False commits must still become
+        # durable under the sealed root.
+        root = self._trie.commit(flush_store=False)
+        if flush_store:
+            self._db.commit(root)
+        return root
 
     def get_account(self, address: Address) -> Account:
-        """Fetch an account; absent addresses read as the empty account."""
+        """Fetch an account; absent addresses read as the empty account.
+
+        Note: between ``set_storage`` and :meth:`commit` the returned
+        record's ``storage_root`` is the last committed one — pending slot
+        writes are visible through :meth:`get_storage`, not here.
+        """
         raw = self._trie.get(_secure_key(address.to_bytes()))
         if raw is None:
             return Account()
@@ -103,12 +167,28 @@ class StateDB:
     def set_account(self, address: Address, account: Account) -> None:
         key = _secure_key(address.to_bytes())
         if account.is_empty:
+            storage = self._dirty_storage.get(address)
+            if storage is not None and not storage.is_empty:
+                # The record reads empty only because its storage_root is
+                # stale: pending slot writes make this account non-empty
+                # (the seed's per-slot commit would already have stamped
+                # the root in).  Keep the record; commit() stamps the real
+                # root — and deletes it then if the storage zeroed out.
+                self._trie.put(key, account.encode())
+                return
+            self._dirty_storage.pop(address, None)
             self._trie.delete(key)
         else:
             self._trie.put(key, account.encode())
 
     def account_exists(self, address: Address) -> bool:
-        return self._trie.get(_secure_key(address.to_bytes())) is not None
+        if self._trie.get(_secure_key(address.to_bytes())) is not None:
+            return True
+        # Pending slot writes make an account exist before its record is
+        # written at commit — the seed stamped the record per slot write,
+        # and gas metering (NEW_ACCOUNT_GAS) keys off existence.
+        storage = self._dirty_storage.get(address)
+        return storage is not None and not storage.is_empty
 
     # -- balances ------------------------------------------------------- #
 
@@ -152,12 +232,18 @@ class StateDB:
     # ------------------------------------------------------------------ #
 
     def get_storage(self, address: Address, slot: bytes) -> bytes:
-        """Read a storage slot; absent slots read as b'' (the zero value)."""
+        """Read a storage slot; absent slots read as b'' (the zero value).
+
+        Dirty slots — written since the last commit — are served from the
+        pending storage trie, so a contract always reads its own writes.
+        """
         key = _storage_key(slot)
-        account = self.get_account(address)
-        if account.storage_root == EMPTY_TRIE_ROOT:
-            return b""
-        storage = self._storage_trie(account.storage_root)
+        storage = self._dirty_storage.get(address)
+        if storage is None:
+            account = self.get_account(address)
+            if account.storage_root == EMPTY_TRIE_ROOT:
+                return b""
+            storage = self._storage_trie(account.storage_root)
         raw = storage.get(key)
         if raw is None:
             return b""
@@ -167,15 +253,23 @@ class StateDB:
         return value
 
     def set_storage(self, address: Address, slot: bytes, value: bytes) -> None:
-        """Write a storage slot; writing b'' deletes it (zeroing)."""
-        account = self.get_account(address)
-        storage = self._storage_trie(account.storage_root)
+        """Write a storage slot; writing b'' deletes it (zeroing).
+
+        The write lands in the account's dirty storage trie.  The account
+        record's ``storage_root`` is re-derived once, at :meth:`commit` —
+        not here — so an SSTORE-heavy workload pays one storage-trie hash
+        pass per account per block instead of one per slot write.
+        """
+        storage = self._dirty_storage.get(address)
+        if storage is None:
+            account = self.get_account(address)
+            storage = self._storage_trie(account.storage_root)
+            self._dirty_storage[address] = storage
         key = _storage_key(slot)
         if value == b"":
             storage.delete(key)
         else:
             storage.put(key, rlp.encode(value))
-        self.set_account(address, account.with_storage_root(storage.root_hash))
 
     def _storage_trie(self, storage_root: bytes) -> MerklePatriciaTrie:
         """A per-account storage trie sharing the world's decoded-node LRU."""
@@ -188,13 +282,21 @@ class StateDB:
     def snapshot(self) -> bytes:
         """Capture the current state root for a later :meth:`revert`.
 
-        Forces a commit of the trie overlay, so the returned root is always
-        resolvable from the append-only node store.
+        Forces a commit of the dirty storage tries and the account trie
+        overlay, so the returned root is always resolvable from the node
+        store.  The nodes are *staged*, not durably flushed — snapshots
+        mark per-transaction revert points inside a block, and durability
+        is cut per sealed block (:meth:`commit`), never mid-block.
         """
-        return self._trie.snapshot()
+        return self.commit(flush_store=False)
 
     def revert(self, root_hash: bytes) -> None:
-        """Rewind to a prior snapshot (node store is append-only)."""
+        """Rewind to a prior snapshot (node store is append-only).
+
+        Uncommitted writes — the account-trie overlay *and* the dirty
+        storage-trie map — are discarded wholesale.
+        """
+        self._dirty_storage.clear()
         self._trie = MerklePatriciaTrie(self._db, root_hash,
                                         node_cache=self._trie.node_cache)
 
@@ -207,11 +309,19 @@ class StateDB:
         return StateDB(self._db, root_hash, node_cache=self._trie.node_cache)
 
     def prove_account(self, address: Address) -> list[bytes]:
-        """Merkle proof of the account record under the current state root."""
+        """Merkle proof of the account record under the current state root.
+
+        Commits (staging, not durably tagging — proving is a read and must
+        never move the store's recovery root) first: proofs are statements
+        about a root, and pending storage writes change the account records
+        they prove.
+        """
+        self.commit(flush_store=False)
         return generate_proof(self._trie, _secure_key(address.to_bytes()))
 
     def prove_storage(self, address: Address, slot: bytes) -> list[bytes]:
         """Merkle proof of a storage slot under the account's storage root."""
+        self.commit(flush_store=False)
         account = self.get_account(address)
         storage = self._storage_trie(account.storage_root)
         return generate_proof(storage, _storage_key(slot))

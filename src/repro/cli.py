@@ -12,7 +12,7 @@ import sys
 __all__ = ["main"]
 
 
-def _demo_quickstart() -> int:
+def _demo_quickstart(state_dir: str | None = None) -> int:
     from .chain import GenesisConfig, UnsignedTransaction
     from .contracts import DEPOSIT_MODULE_ADDRESS
     from .crypto import PrivateKey
@@ -20,14 +20,22 @@ def _demo_quickstart() -> int:
     from .node import Devnet, FullNode
     from .parp import FullNodeServer, LightClientSession, MIN_FULL_NODE_DEPOSIT
 
+    from .chain.chain import ChainError
+
     fn_key = PrivateKey.from_seed("demo:fn")
     lc_key = PrivateKey.from_seed("demo:lc")
     alice = PrivateKey.from_seed("demo:alice")
-    net = Devnet(GenesisConfig(allocations={
-        fn_key.address: 100 * 10 ** 18,
-        lc_key.address: 10 * 10 ** 18,
-        alice.address: 2 * 10 ** 18,
-    }))
+    try:
+        net = Devnet(GenesisConfig(allocations={
+            fn_key.address: 100 * 10 ** 18,
+            lc_key.address: 10 * 10 ** 18,
+            alice.address: 2 * 10 ** 18,
+        }), state_dir=state_dir)
+    except ChainError as exc:
+        print(f"cannot start the demo chain: {exc}", file=sys.stderr)
+        return 1
+    if state_dir is not None:
+        print(f"full node state is disk-backed: {net.node_store.path}")
     net.execute(fn_key, DEPOSIT_MODULE_ADDRESS, "deposit",
                 value=MIN_FULL_NODE_DEPOSIT)
     server = FullNodeServer(FullNode(net.chain, key=fn_key))
@@ -45,6 +53,13 @@ def _demo_quickstart() -> int:
           f"(proof verified against the header)")
     print(f"spent {session.channel.spent} wei over "
           f"{session.channel.requests_sent} requests")
+    if state_dir is not None:
+        store = net.node_store
+        root = net.chain.head.header.state_root
+        net.close()
+        print(f"state persisted: {store.stats.batches_committed} commit "
+              f"batches, {store.stats.bytes_appended} bytes appended; "
+              f"reopen with root {root.hex()[:16]}…")
     return 0
 
 
@@ -115,9 +130,17 @@ def main(argv: list[str] | None = None) -> int:
         "scenario", choices=["quickstart", "fraud", "providers"],
         help="which demo to run",
     )
+    parser.add_argument(
+        "--state-dir", default=None, metavar="DIR",
+        help="persist the full node's world state to DIR (append-only, "
+             "crash-safe node store) instead of keeping it in memory",
+    )
     args = parser.parse_args(argv)
+    if args.scenario == "quickstart":
+        return _demo_quickstart(state_dir=args.state_dir)
+    if args.state_dir is not None:
+        parser.error("--state-dir is only supported by the quickstart demo")
     handlers = {
-        "quickstart": _demo_quickstart,
         "fraud": _demo_fraud,
         "providers": _demo_providers,
     }

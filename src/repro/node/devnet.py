@@ -8,7 +8,8 @@ attach to it, exactly like multiple serving nodes that follow the same chain.
 
 from __future__ import annotations
 
-from typing import Any, Optional, Sequence
+import os
+from typing import Any, Optional, Sequence, Union
 
 from ..chain.chain import Blockchain
 from ..chain.genesis import GenesisConfig
@@ -23,6 +24,7 @@ from ..contracts.channels import ChannelsModule
 from ..contracts.deposit import DepositModule
 from ..contracts.fraud import FraudModule
 from ..crypto.keys import Address, PrivateKey
+from ..storage import NodeStore, open_node_store
 from ..vm.abi import encode_call
 from ..vm.runtime import (
     BlockContext,
@@ -41,9 +43,21 @@ VIEW_GAS_LIMIT = 50_000_000
 
 
 class Devnet:
-    """A ready-to-use chain with FNDM/CMM/FDM deployed at fixed addresses."""
+    """A ready-to-use chain with FNDM/CMM/FDM deployed at fixed addresses.
 
-    def __init__(self, genesis: Optional[GenesisConfig] = None) -> None:
+    ``state_dir`` puts the world state on disk (an
+    :class:`~repro.storage.AppendOnlyFileStore` under that directory) so a
+    full node can hold tries bigger than RAM and survive restarts; ``db``
+    lets callers inject any prebuilt :class:`~repro.storage.NodeStore`.
+    """
+
+    def __init__(self, genesis: Optional[GenesisConfig] = None,
+                 state_dir: Union[None, str, os.PathLike] = None,
+                 db: Optional[NodeStore] = None) -> None:
+        if state_dir is not None and db is not None:
+            raise ValueError("pass either state_dir or db, not both")
+        if state_dir is not None:
+            db = open_node_store(state_dir)
         self.registry = ContractRegistry()
         self.deposit_module = DepositModule(
             DEPOSIT_MODULE_ADDRESS,
@@ -62,9 +76,23 @@ class Devnet:
         self.registry.deploy(self.channels_module)
         self.registry.deploy(self.fraud_module)
         self.executor = TransactionExecutor(self.registry)
-        self.chain = Blockchain(genesis or GenesisConfig(),
-                                executor=self.executor)
+        try:
+            self.chain = Blockchain(genesis or GenesisConfig(),
+                                    executor=self.executor, db=db)
+        except Exception:
+            if state_dir is not None and db is not None:
+                db.close()  # we opened it; don't leak the log handle
+            raise
         self._last_results: dict[bytes, ExecutionResult] = {}
+
+    @property
+    def node_store(self) -> NodeStore:
+        """The chain's backing node store (memory- or disk-backed)."""
+        return self.chain.db
+
+    def close(self) -> None:
+        """Release the node store (flushes nothing: commits are per-block)."""
+        self.chain.db.close()
 
     # ------------------------------------------------------------------ #
     # Transactions

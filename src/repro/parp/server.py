@@ -144,6 +144,17 @@ class FullNodeServer:
     def address(self) -> Address:
         return self.key.address
 
+    @property
+    def node_store(self):
+        """The serving node's backing trie store (see :mod:`repro.storage`).
+
+        Disk-backed servers expose their store stats (batches, appended
+        bytes, recovery counters) here for the benches and operators; the
+        serving path itself is backend-agnostic — proofs read through the
+        store interface plus the decoded-node LRU.
+        """
+        return self.node.node_store
+
     def _now(self) -> int:
         if self._clock is not None:
             return int(self._clock())

@@ -1,0 +1,28 @@
+"""Persistent node-store backends for the Merkle Patricia Tries.
+
+The tries write committed nodes through a :class:`NodeStore`;
+:class:`MemoryNodeStore` keeps the seed's dict behaviour and
+:class:`AppendOnlyFileStore` puts the state on disk with crash-safe,
+checksummed commit batches.  ``as_node_store`` normalizes what callers pass
+(None / dict / store / path); ``open_node_store`` applies the ``--state-dir``
+directory convention.
+"""
+
+from .filestore import (
+    AppendOnlyFileStore,
+    FileStoreStats,
+    MAGIC,
+    open_node_store,
+)
+from .nodestore import MemoryNodeStore, NodeStore, StoreError, as_node_store
+
+__all__ = [
+    "NodeStore",
+    "MemoryNodeStore",
+    "AppendOnlyFileStore",
+    "FileStoreStats",
+    "StoreError",
+    "as_node_store",
+    "open_node_store",
+    "MAGIC",
+]

@@ -1,0 +1,391 @@
+"""Append-only, crash-safe disk node store.
+
+This is the persistence layer that lets a full node hold state tries far
+bigger than RAM-resident Python dicts allow, and survive being restarted:
+
+* **Data layout** — one log file.  An 8-byte magic header, then a sequence
+  of *commit batches*.  Each batch is::
+
+      0xB1 | u32 count | count x (32-byte hash | u32 len | value bytes)
+           | 32-byte root | u32 crc32
+
+  The CRC covers everything from the marker through the root, so any torn
+  or bit-flipped suffix is detected on reopen.
+
+* **Write path** — ``__setitem__`` stages entries in a pending dict (reads
+  see them immediately); :meth:`commit` serializes the whole batch into one
+  buffer, appends it with a single ``write``, then ``flush`` + ``fsync``.
+  The trie's overlay engine calls ``commit`` once per root transition, so
+  a block's worth of nodes costs one syscall burst, not one per node.
+  Content addressing makes re-puts of known hashes free: they are skipped.
+
+* **Recovery** — :meth:`_recover` (run on open) scans batches from the
+  front, verifying each CRC.  The first short read or checksum mismatch
+  ends the valid prefix: the file is truncated back to the last batch that
+  committed completely, the offset index is rebuilt from the surviving
+  prefix, and :attr:`last_root` is the root that batch was tagged with.  A
+  crash mid-``write`` therefore loses only the uncommitted batch — exactly
+  the overlay writes the trie had not yet promised were durable.
+
+* **Read path** — the in-memory index maps hash -> (offset, length); a
+  ``get`` is one locked ``seek`` + ``read``, behind a bounded LRU of
+  *encoded* node bytes.  The trie keeps its decoded-node LRU above the
+  store, but proof serving also needs the raw RLP bytes of every proof
+  node (they *are* the proof), so without the byte cache a warm proof
+  still paid one file read per node per request.  Hot nodes therefore
+  skip the disk entirely; the file is only touched on double misses.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import struct
+import threading
+import zlib
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..crypto.keccak import KECCAK_EMPTY_RLP
+from ..metrics.cache import LRUCache
+from .nodestore import NodeStore, StoreError
+
+__all__ = ["AppendOnlyFileStore", "FileStoreStats", "open_node_store"]
+
+#: default bound for the encoded-node read cache (entries, not bytes; trie
+#: nodes encode to ≤ ~530 B, so the worst case is a few tens of MiB —
+#: sized to keep the upper levels of a multi-million-key trie resident)
+DEFAULT_READ_CACHE_CAPACITY = 65536
+
+#: file signature: PARP node store, format version 1
+MAGIC = b"PARPNS01"
+_BATCH_MARKER = b"\xb1"
+_U32 = struct.Struct("<I")
+_HASH_LEN = 32
+
+
+@dataclass
+class FileStoreStats:
+    """Operational counters surfaced to benches and the serving node."""
+
+    batches_committed: int = 0
+    entries_written: int = 0
+    bytes_appended: int = 0
+    reads: int = 0
+    #: batches found intact by the recovery scan on the most recent open
+    batches_recovered: int = 0
+    #: torn/corrupt suffix bytes truncated away on the most recent open
+    truncated_bytes: int = 0
+
+
+class AppendOnlyFileStore(NodeStore):
+    """Durable node store over a single append-only log file.
+
+    ``sync=False`` trades the per-commit ``fsync`` for speed (useful for
+    bulk loads and benchmarks where a machine crash just means rebuilding);
+    the atomicity guarantee — recover to a committed root, never a torn
+    batch — holds either way because it comes from the CRC, not the fsync.
+    """
+
+    def __init__(self, path: Union[str, os.PathLike],
+                 *, sync: bool = True,
+                 read_cache_capacity: int = DEFAULT_READ_CACHE_CAPACITY) -> None:
+        self._path = pathlib.Path(path)
+        self._sync = sync
+        self._lock = threading.Lock()
+        self._read_cache: LRUCache = LRUCache(capacity=read_cache_capacity)
+        self._pending: dict[bytes, bytes] = {}
+        self._index: dict[bytes, tuple[int, int]] = {}
+        self._last_root: bytes = KECCAK_EMPTY_RLP
+        self._closed = False
+        #: a failed append that could not be truncated away wedges writes
+        #: (reads stay valid); reopening re-runs recovery and clears it
+        self._wedged = False
+        self.stats = FileStoreStats()
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        fresh = not self._path.exists() or self._path.stat().st_size == 0
+        self._fh = open(self._path, "a+b")
+        if fresh:
+            self._fh.write(MAGIC)
+            self._fh.flush()
+            if self._sync:
+                os.fsync(self._fh.fileno())
+        else:
+            self._recover()
+
+    # ------------------------------------------------------------------ #
+    # NodeStore interface
+    # ------------------------------------------------------------------ #
+
+    @property
+    def path(self) -> pathlib.Path:
+        return self._path
+
+    @property
+    def last_root(self) -> bytes:
+        return self._last_root
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        value = self._pending.get(key)
+        if value is not None:
+            return value
+        cached = self._read_cache.get(key)
+        if cached is not None:
+            return cached
+        location = self._index.get(key)
+        if location is None:
+            return None
+        offset, length = location
+        with self._lock:
+            self._require_open()
+            self._fh.seek(offset)
+            data = self._fh.read(length)
+        if len(data) != length:  # pragma: no cover - index always in-bounds
+            raise StoreError(f"short read at offset {offset} in {self._path}")
+        self.stats.reads += 1
+        self._read_cache.put(key, data)
+        return data
+
+    def __setitem__(self, key: bytes, value: bytes) -> None:
+        if len(key) != _HASH_LEN:
+            raise StoreError(f"node keys are {_HASH_LEN}-byte hashes, "
+                             f"got {len(key)}")
+        # content-addressed: a known hash is already durable with these bytes
+        if key in self._index or key in self._pending:
+            return
+        self._pending[key] = value
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._pending or key in self._index
+
+    def __len__(self) -> int:
+        return len(self._index) + len(self._pending)
+
+    def commit(self, root: bytes) -> None:
+        """Append the pending batch as one checksummed, fsynced record.
+
+        A commit with nothing pending *and* an unchanged root is a no-op.
+        A root transition whose nodes all deduplicated away (state
+        committed back to a previously-stored shape) still cuts an empty,
+        root-tagged batch — :attr:`last_root` must always be the newest
+        *acknowledged* commit, or reopening would resurrect the state that
+        was committed away.
+
+        The record is *streamed* to the (buffered) file handle with an
+        incremental CRC — mirroring the recovery scan — so committing a
+        huge batch never builds a second in-memory copy of the nodes.
+        Atomicity comes from the checksum, not from a single write: a
+        crash mid-stream leaves a torn suffix that recovery truncates.
+        """
+        if not self._pending and root == self._last_root:
+            return
+        with self._lock:
+            self._require_open()
+            if self._wedged:
+                raise StoreError(
+                    f"node store {self._path} refused the commit: a failed "
+                    "append could not be truncated away, so further writes "
+                    "would be discarded by crash recovery"
+                )
+            self._fh.seek(0, os.SEEK_END)
+            base = self._fh.tell()
+            try:
+                written, locations = self._write_batch(root, base)
+            except Exception:
+                # drop the partial record so later commits do not bury a
+                # torn batch mid-log (recovery scans front-to-back and
+                # would discard everything after it); if even that fails,
+                # wedge the store — appending past a torn record would
+                # acknowledge commits that recovery must throw away
+                try:
+                    self._fh.truncate(base)
+                    self._fh.flush()
+                except OSError:
+                    self._wedged = True
+                raise
+            for key, offset, length in locations:
+                self._index[key] = (offset, length)
+            self.stats.batches_committed += 1
+            self.stats.entries_written += len(self._pending)
+            self.stats.bytes_appended += written
+            # seed the read cache with the batch just written: the next
+            # proofs served will walk these nodes, and they are already in
+            # memory.  A bulk batch larger than the cache would only churn
+            # it (evicting the genuinely hot entries for an arbitrary
+            # tail), so seeding is skipped then.
+            if len(self._pending) <= self._read_cache.capacity:
+                for key, value in self._pending.items():
+                    self._read_cache.put(key, value)
+            self._pending.clear()
+            self._last_root = root
+
+    def _write_batch(self, root: bytes, base: int
+                     ) -> tuple[int, list[tuple[bytes, int, int]]]:
+        """Stream one batch at ``base``; returns (bytes written, locations).
+
+        The value locations are returned — not applied to the index — so a
+        failed write cannot leave the index pointing into a torn record.
+        """
+        fh = self._fh
+        header = _BATCH_MARKER + _U32.pack(len(self._pending))
+        crc = zlib.crc32(header)
+        fh.write(header)
+        offset = base + len(header)
+        locations: list[tuple[bytes, int, int]] = []
+        for key, value in self._pending.items():
+            entry_header = key + _U32.pack(len(value))
+            crc = zlib.crc32(entry_header, crc)
+            fh.write(entry_header)
+            offset += len(entry_header)
+            crc = zlib.crc32(value, crc)
+            fh.write(value)
+            locations.append((key, offset, len(value)))
+            offset += len(value)
+        crc = zlib.crc32(root, crc)
+        fh.write(root)
+        fh.write(_U32.pack(crc))
+        offset += _HASH_LEN + _U32.size
+        fh.flush()
+        if self._sync:
+            os.fsync(fh.fileno())
+        return offset - base, locations
+
+    def close(self) -> None:
+        """Close the file handle; pending (uncommitted) writes are dropped —
+        they were never promised durable, exactly like trie overlay nodes
+        before a ``commit``."""
+        if not self._closed:
+            self._closed = True
+            self._pending.clear()
+            self._read_cache.clear()
+            self._fh.close()
+
+    # ------------------------------------------------------------------ #
+    # Recovery
+    # ------------------------------------------------------------------ #
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise StoreError(f"node store {self._path} is closed")
+
+    def _recover(self) -> None:
+        """Rebuild the index from the longest valid prefix; truncate the rest.
+
+        Validity is per-batch: marker present, all fields complete, CRC
+        matches.  The scan is strictly front-to-back, so a corrupt byte in
+        batch *k* invalidates batches *k..n* — later batches may reference
+        nodes from the damaged one, so the committed root they advertise is
+        not resolvable and keeping them would serve broken proofs.
+
+        The scan *streams*: batches are parsed straight off the file handle
+        with an incremental CRC, so recovering a log far bigger than RAM
+        costs O(one node) of memory for values plus the offset index — the
+        whole point of the disk backend is state that does not fit in
+        memory, and that must include the restart path.
+        """
+        total = os.fstat(self._fh.fileno()).st_size
+        self._fh.seek(0)
+        magic = self._fh.read(len(MAGIC))
+        if len(magic) < len(MAGIC) and MAGIC.startswith(magic):
+            # a crash while creating the fresh log tore the header itself:
+            # nothing was ever committed, so re-initialize instead of
+            # refusing to open forever
+            self.stats.truncated_bytes = len(magic)
+            self._fh.truncate(0)
+            self._fh.write(MAGIC)
+            self._fh.flush()
+            if self._sync:
+                os.fsync(self._fh.fileno())
+            return
+        if magic != MAGIC:
+            raise StoreError(
+                f"{self._path} is not a PARP node store (bad magic {magic!r})"
+            )
+        index: dict[bytes, tuple[int, int]] = {}
+        last_root = KECCAK_EMPTY_RLP
+        good_end = len(MAGIC)
+        offset = len(MAGIC)
+        batches = 0
+        while offset < total:
+            parsed = self._scan_batch(offset, total)
+            if parsed is None:
+                break  # torn or corrupt suffix: stop at the last good batch
+            entries, root, offset = parsed
+            index.update(entries)
+            last_root = root
+            good_end = offset
+            batches += 1
+        if good_end < total:
+            self.stats.truncated_bytes = total - good_end
+            self._fh.truncate(good_end)
+            self._fh.flush()
+            if self._sync:
+                os.fsync(self._fh.fileno())
+        self._index = index
+        self._last_root = last_root
+        self.stats.batches_recovered = batches
+
+    def _scan_batch(self, offset: int, total: int
+                    ) -> Optional[tuple[dict[bytes, tuple[int, int]],
+                                        bytes, int]]:
+        """Stream-parse one batch at ``offset``: (entries, root, next offset).
+
+        Returns None on any short read, bad marker, or CRC mismatch.  The
+        CRC is fed incrementally, so only one value is resident at a time.
+        """
+        fh = self._fh
+        fh.seek(offset)
+        header = fh.read(1 + _U32.size)
+        if len(header) != 1 + _U32.size or header[:1] != _BATCH_MARKER:
+            return None
+        crc = zlib.crc32(header)
+        (count,) = _U32.unpack_from(header, 1)
+        pos = offset + 1 + _U32.size
+        entries: dict[bytes, tuple[int, int]] = {}
+        for _ in range(count):
+            entry_header = fh.read(_HASH_LEN + _U32.size)
+            if len(entry_header) != _HASH_LEN + _U32.size:
+                return None
+            crc = zlib.crc32(entry_header, crc)
+            key = entry_header[:_HASH_LEN]
+            (length,) = _U32.unpack_from(entry_header, _HASH_LEN)
+            pos += _HASH_LEN + _U32.size
+            if pos + length > total:
+                return None
+            value = fh.read(length)
+            if len(value) != length:
+                return None
+            crc = zlib.crc32(value, crc)
+            entries[key] = (pos, length)
+            pos += length
+        trailer = fh.read(_HASH_LEN + _U32.size)
+        if len(trailer) != _HASH_LEN + _U32.size:
+            return None
+        root = trailer[:_HASH_LEN]
+        crc = zlib.crc32(root, crc)
+        (stored_crc,) = _U32.unpack_from(trailer, _HASH_LEN)
+        if crc != stored_crc:
+            return None
+        return entries, root, pos + _HASH_LEN + _U32.size
+
+    def __repr__(self) -> str:
+        return (f"AppendOnlyFileStore({str(self._path)!r}, "
+                f"entries={len(self._index)}, pending={len(self._pending)})")
+
+
+def open_node_store(state_dir: Union[str, os.PathLike],
+                    *, sync: bool = True) -> AppendOnlyFileStore:
+    """Open (or create) the node store of a node's ``--state-dir``.
+
+    The directory convention keeps room for future siblings (block index,
+    receipts) next to the trie-node log.
+    """
+    state_dir = pathlib.Path(state_dir)
+    if state_dir.exists() and not state_dir.is_dir():
+        raise StoreError(
+            f"{state_dir} exists but is not a directory — it looks like a "
+            "bare node-store log; open it with AppendOnlyFileStore(path) "
+            "or move it to <dir>/nodes.log"
+        )
+    state_dir.mkdir(parents=True, exist_ok=True)
+    return AppendOnlyFileStore(state_dir / "nodes.log", sync=sync)

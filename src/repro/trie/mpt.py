@@ -38,15 +38,28 @@ encode operations instead of O(N × depth).
 Reads share a bounded decoded-node LRU (hash → decoded node) so that proof
 serving and repeated lookups stop paying ``rlp.decode`` once a node has been
 seen; views created via :meth:`at_root` share the cache with their parent.
+
+Node store
+----------
+
+Committed nodes live behind a :class:`~repro.storage.NodeStore` — the
+in-memory dict backend of the seed, or an append-only disk log
+(:class:`~repro.storage.AppendOnlyFileStore`) for state bigger than RAM.
+The constructor still accepts a raw dict (wrapped by reference) for
+backward compatibility; :meth:`commit` ends by handing the new root to
+``store.commit``, which is where a durable backend flushes its batch
+atomically.  One overlay flush therefore equals one crash-consistent disk
+batch.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Union
 
 from ..crypto.keccak import KECCAK_EMPTY_RLP, keccak256
 from ..metrics.cache import LRUCache
 from ..rlp import codec as rlp
+from ..storage.nodestore import NodeStore, as_node_store
 from .nibbles import (
     Nibbles,
     bytes_to_nibbles,
@@ -87,10 +100,10 @@ class MerklePatriciaTrie:
     once, by :meth:`commit`.
     """
 
-    def __init__(self, db: Optional[dict[bytes, bytes]] = None,
+    def __init__(self, db: Union[None, dict, NodeStore, str] = None,
                  root_hash: bytes = EMPTY_TRIE_ROOT,
                  node_cache: Optional[LRUCache] = None) -> None:
-        self._db: dict[bytes, bytes] = db if db is not None else {}
+        self._db: NodeStore = as_node_store(db)
         if root_hash != EMPTY_TRIE_ROOT and root_hash not in self._db:
             raise TrieError(f"unknown root hash {root_hash.hex()}")
         #: committed root; None exactly while the overlay holds dirty nodes
@@ -116,22 +129,38 @@ class MerklePatriciaTrie:
         return self.commit()
 
     @property
-    def db(self) -> dict[bytes, bytes]:
+    def db(self) -> NodeStore:
         """The backing node store (hash -> rlp(node))."""
         return self._db
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the trie holds no keys — overlay included, no hashing."""
+        if self._root_hash is not None:
+            return self._root_hash == EMPTY_TRIE_ROOT
+        return self._root_node == _BLANK
 
     @property
     def node_cache(self) -> LRUCache:
         """The shared decoded-node LRU (hash -> decoded node)."""
         return self._cache
 
-    def commit(self) -> bytes:
+    def commit(self, flush_store: bool = True) -> bytes:
         """Hash + persist every dirty overlay node once; return the root.
 
         Idempotent: with no pending writes this is a field read.  This is the
         single place the engine pays ``rlp.encode`` + ``keccak256``, which is
         what turns an N-key bulk load from O(N × depth) hashing round trips
-        into O(distinct dirty nodes).
+        into O(distinct dirty nodes).  It is also the durability point: the
+        flushed nodes and the new root are handed to the node store's own
+        ``commit``, which a disk-backed store writes as one atomic batch.
+
+        ``flush_store=False`` stages the nodes in the store but skips its
+        ``commit`` — for callers composing several trie flushes into one
+        atomic batch (``StateDB.commit`` flushes every dirty storage trie
+        this way, then lets the account-trie commit tag the single batch
+        with the *state* root, so crash recovery can only ever land on a
+        state root, never a storage-subtree root).
         """
         if self._root_hash is not None:
             return self._root_hash
@@ -149,6 +178,8 @@ class MerklePatriciaTrie:
                 self._cache.put(root, ref)
                 self._root_hash = root
         self._root_node = _BLANK
+        if flush_store:
+            self._db.commit(self._root_hash)
         return self._root_hash
 
     def get(self, key: bytes) -> Optional[bytes]:
@@ -206,13 +237,17 @@ class MerklePatriciaTrie:
         """
         return MerklePatriciaTrie(self._db, root_hash, node_cache=self._cache)
 
-    def load_node(self, node_hash: bytes) -> rlp.Item:
+    def load_node(self, node_hash: bytes,
+                  encoded: Optional[bytes] = None) -> rlp.Item:
         """Decoded node for ``node_hash``, through the shared LRU.
 
         Used by the proof generator so serving a proof costs dictionary
-        lookups, not one ``rlp.decode`` per node per request.
+        lookups, not one ``rlp.decode`` per node per request.  Callers that
+        already hold the encoded bytes (the proof walk fetches them for the
+        proof itself) pass them via ``encoded`` so a cache miss decodes in
+        place instead of re-reading the store.
         """
-        return self._load(node_hash)
+        return self._load(node_hash, encoded)
 
     def __contains__(self, key: bytes) -> bool:
         return self.get(key) is not None
@@ -232,13 +267,15 @@ class MerklePatriciaTrie:
             return _BLANK
         return self._load(self._root_hash)
 
-    def _load(self, node_hash: bytes) -> rlp.Item:
+    def _load(self, node_hash: bytes,
+              encoded: Optional[bytes] = None) -> rlp.Item:
         node = self._cache.get(node_hash)
         if node is not None:
             return node
-        encoded = self._db.get(node_hash)
         if encoded is None:
-            raise TrieError(f"missing trie node {node_hash.hex()}")
+            encoded = self._db.get(node_hash)
+            if encoded is None:
+                raise TrieError(f"missing trie node {node_hash.hex()}")
         node = rlp.decode(encoded)
         self._cache.put(node_hash, node)
         return node

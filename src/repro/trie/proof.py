@@ -69,7 +69,9 @@ def generate_proof(trie: MerklePatriciaTrie, key: bytes) -> list[bytes]:
                     f"(depth {len(proof)})"
                 )
             proof.append(encoded)
-            node = trie.load_node(ref)  # cached decode; store hit proven above
+            # cached decode; on a miss the bytes just fetched are decoded
+            # in place instead of re-reading the store
+            node = trie.load_node(ref, encoded)
         else:
             node = ref  # inline node: already part of the parent's encoding
         if len(node) == 17:

@@ -18,10 +18,11 @@ seed was slow.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Union
 
 from ..crypto.keccak import keccak256
 from ..rlp import codec as rlp
+from ..storage.nodestore import NodeStore, as_node_store
 from .mpt import EMPTY_TRIE_ROOT, TrieError
 from .nibbles import (
     Nibbles,
@@ -44,9 +45,9 @@ class NaiveMerklePatriciaTrie:
     engine), minus the overlay-specific extras.
     """
 
-    def __init__(self, db: Optional[dict[bytes, bytes]] = None,
+    def __init__(self, db: Union[None, dict, NodeStore, str] = None,
                  root_hash: bytes = EMPTY_TRIE_ROOT) -> None:
-        self._db: dict[bytes, bytes] = db if db is not None else {}
+        self._db: NodeStore = as_node_store(db)
         if root_hash != EMPTY_TRIE_ROOT and root_hash not in self._db:
             raise TrieError(f"unknown root hash {root_hash.hex()}")
         self._root_hash = root_hash
@@ -60,11 +61,13 @@ class NaiveMerklePatriciaTrie:
         return self._root_hash
 
     @property
-    def db(self) -> dict[bytes, bytes]:
+    def db(self) -> NodeStore:
         return self._db
 
     def commit(self) -> bytes:
-        """Eager engine: every write already committed; returns the root."""
+        """Eager engine: writes are already staged per-put; flushing the
+        store batch (a no-op for the memory backend) is all that remains."""
+        self._db.commit(self._root_hash)
         return self._root_hash
 
     def get(self, key: bytes) -> Optional[bytes]:
@@ -95,13 +98,16 @@ class NaiveMerklePatriciaTrie:
         yield from self._iter(self._resolve_root(), ())
 
     def snapshot(self) -> bytes:
-        return self._root_hash
+        return self.commit()
 
     def at_root(self, root_hash: bytes) -> "NaiveMerklePatriciaTrie":
         return NaiveMerklePatriciaTrie(self._db, root_hash)
 
-    def load_node(self, node_hash: bytes) -> rlp.Item:
+    def load_node(self, node_hash: bytes,
+                  encoded: Optional[bytes] = None) -> rlp.Item:
         """Uncached decode — the per-request cost the overlay engine removed."""
+        if encoded is not None:
+            return rlp.decode(encoded)
         return self._load(node_hash)
 
     def __contains__(self, key: bytes) -> bool:

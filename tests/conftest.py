@@ -7,6 +7,7 @@ accounts the workloads touch.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 import pytest
@@ -22,8 +23,40 @@ from repro.parp import (
     MIN_FULL_NODE_DEPOSIT,
     WitnessService,
 )
+from repro.storage import AppendOnlyFileStore, MemoryNodeStore
 
 TOKEN = 10 ** 18
+
+#: Backends the store-parametrized trie/state tests run against.  Defaults
+#: to memory only (fast local runs); CI's tier-1 job sets
+#: ``REPRO_NODE_STORE=memory,file`` so the same tests also exercise the
+#: append-only disk store.
+NODE_STORE_BACKENDS = [
+    backend.strip()
+    for backend in os.environ.get("REPRO_NODE_STORE", "memory").split(",")
+    if backend.strip()
+]
+
+
+def pytest_generate_tests(metafunc):
+    if "node_store_backend" in metafunc.fixturenames:
+        metafunc.parametrize("node_store_backend", NODE_STORE_BACKENDS)
+
+
+@pytest.fixture
+def node_store(node_store_backend, tmp_path):
+    """A fresh node store of the selected backend (see REPRO_NODE_STORE)."""
+    if node_store_backend == "memory":
+        yield MemoryNodeStore()
+    elif node_store_backend == "file":
+        store = AppendOnlyFileStore(tmp_path / "nodes.log")
+        yield store
+        store.close()
+    else:
+        raise ValueError(
+            f"unknown REPRO_NODE_STORE backend {node_store_backend!r} "
+            "(expected 'memory' or 'file')"
+        )
 
 
 @dataclass

@@ -120,3 +120,72 @@ class TestDevnet:
         assert net.registry.get(DEPOSIT_MODULE_ADDRESS) is net.deposit_module
         assert net.registry.get(CHANNELS_MODULE_ADDRESS) is net.channels_module
         assert net.registry.get(FRAUD_MODULE_ADDRESS) is net.fraud_module
+
+
+class TestDevnetPersistence:
+    def test_state_dir_round_trip(self, tmp_path):
+        """A disk-backed devnet's state survives close + reopen: the head
+        state root re-attaches from the log and resolves every account."""
+        from repro.chain.state import StateDB
+        from repro.storage import AppendOnlyFileStore, open_node_store
+
+        state_dir = tmp_path / "node-state"
+        net = Devnet(GenesisConfig(allocations={ALICE.address: 10 * TOKEN,
+                                                BOB.address: TOKEN}),
+                     state_dir=state_dir)
+        assert isinstance(net.node_store, AppendOnlyFileStore)
+        net.send_transaction(ALICE, BOB.address, value=123)
+        net.mine()
+        head_root = net.chain.head.header.state_root
+        bob_balance = net.balance_of(BOB.address)
+        net.close()
+
+        store = open_node_store(state_dir)
+        assert store.last_root == head_root
+        revived = StateDB(store, store.last_root)
+        assert revived.balance_of(BOB.address) == bob_balance == TOKEN + 123
+        assert revived.balance_of(ALICE.address) < 10 * TOKEN
+        store.close()
+
+    def test_state_dir_and_db_are_exclusive(self, tmp_path):
+        from repro.storage import MemoryNodeStore
+
+        with pytest.raises(ValueError):
+            Devnet(state_dir=tmp_path, db=MemoryNodeStore())
+
+    def test_one_durable_batch_per_sealed_block(self, tmp_path):
+        """Per-tx snapshots stage; sealing cuts exactly one fsynced batch,
+        tagged with the header's state root — so crash recovery can only
+        land on a header-committed state, never a mid-block root."""
+        net = Devnet(GenesisConfig(allocations={ALICE.address: 10 * TOKEN}),
+                     state_dir=tmp_path / "node-state")
+        base = net.node_store.stats.batches_committed
+        net.send_transaction(ALICE, BOB.address, value=1)
+        net.send_transaction(ALICE, BOB.address, value=2)
+        net.mine()
+        assert net.node_store.stats.batches_committed == base + 1
+        assert net.node_store.last_root == net.chain.head.header.state_root
+        net.close()
+
+    def test_reopening_populated_state_dir_is_refused(self, tmp_path):
+        """Replaying genesis over a populated store would rewind
+        store.last_root (the crash-recovery point) to the genesis root —
+        until chain metadata is persisted too, the chain refuses and the
+        store must be reattached read-side."""
+        from repro.chain.chain import ChainError
+        from repro.storage import open_node_store
+
+        state_dir = tmp_path / "node-state"
+        net = Devnet(GenesisConfig(allocations={ALICE.address: TOKEN}),
+                     state_dir=state_dir)
+        net.send_transaction(ALICE, BOB.address, value=1)
+        net.mine()
+        head_root = net.chain.head.header.state_root
+        net.close()
+        with pytest.raises(ChainError, match="already contains committed"):
+            Devnet(GenesisConfig(allocations={ALICE.address: TOKEN}),
+                   state_dir=state_dir)
+        # the refusal must not have moved the recovery point
+        store = open_node_store(state_dir)
+        assert store.last_root == head_root
+        store.close()

@@ -14,8 +14,10 @@ CONTRACT = Address.from_hex("0x00000000000000000000000000000000000000CC")
 
 
 @pytest.fixture
-def state() -> StateDB:
-    db = StateDB()
+def state(node_store) -> StateDB:
+    # node_store is backend-parametrized (REPRO_NODE_STORE), so every state
+    # semantics test below also runs against the append-only disk store in CI
+    db = StateDB(node_store)
     db.add_balance(A, 1_000)
     db.add_balance(B, 50)
     return db
@@ -86,9 +88,11 @@ class TestStorage:
 
     def test_zeroing_deletes(self, state):
         state.set_storage(CONTRACT, self.SLOT, b"\x2a")
+        state.commit()  # storage_root is re-derived at commit, not per write
         root_with_value = state.get_account(CONTRACT).storage_root
         state.set_storage(CONTRACT, self.SLOT, b"")
         assert state.get_storage(CONTRACT, self.SLOT) == b""
+        state.commit()
         assert state.get_account(CONTRACT).storage_root != root_with_value
 
     def test_storage_isolated_per_account(self, state):
@@ -135,8 +139,8 @@ class TestProofs:
     def test_storage_proof(self, state):
         slot = keccak256(b"proved-slot")
         state.set_storage(CONTRACT, slot, b"\x99")
+        proof = state.prove_storage(CONTRACT, slot)  # commits first
         account = state.get_account(CONTRACT)
-        proof = state.prove_storage(CONTRACT, slot)
         from repro.rlp import decode
 
         raw = verify_proof(account.storage_root, keccak256(slot), proof)

@@ -197,11 +197,17 @@ class TestStateDBWiring:
 
     def test_secure_key_memoized(self):
         raw = PrivateKey.from_seed("overlay:c").address.to_bytes()
-        _secure_key_memo.pop(raw, None)
         first = _secure_key(raw)
         assert raw in _secure_key_memo
         assert _secure_key(raw) is first
         assert first == keccak256(raw)
+
+    def test_secure_key_memo_is_bounded_locked_lru(self):
+        # the seed's module dict was cleared wholesale at capacity and was
+        # not thread-safe under the concurrent-session server; the memo is
+        # now the same LRUCache the rest of the hot path uses
+        assert isinstance(_secure_key_memo, LRUCache)
+        assert _secure_key_memo.capacity == 1 << 17
 
 
 class TestServerSnapshotViews:
