@@ -10,9 +10,10 @@ to agree on each header hash, detecting equivocating or lying sources.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Optional, Protocol, Sequence
+from typing import Any, Optional, Protocol, Sequence
 
 from ..chain.header import BlockHeader
+from ..net.futures import wait_all
 from .headerchain import HeaderChain, HeaderChainError
 
 __all__ = ["HeaderSource", "SyncError", "HeaderSyncer"]
@@ -48,19 +49,44 @@ class HeaderSyncer:
     # Syncing
     # ------------------------------------------------------------------ #
 
+    def _gather(self, method: str, *args: Any) -> list[tuple[int, Any]]:
+        """Ask every source once — in parallel where the transport allows.
+
+        Sources exposing the futures contract (``submit``) are queried with
+        overlapping in-flight requests and awaited together, so a fetch
+        round costs the *slowest* source's round trip instead of the sum —
+        and a dead source costs one shared synchrony bound, not its own.
+        Sources without it are called synchronously, as before.  Returns
+        ``(source_index, value)`` pairs for the sources that answered.
+        """
+        pending: dict[int, Any] = {}
+        answered: list[tuple[int, Any]] = []
+        for index, source in enumerate(self.sources):
+            submit = getattr(source, "submit", None)
+            if submit is not None:
+                pending[index] = submit(method, *args)
+                continue
+            try:
+                answered.append((index, getattr(source, method)(*args)))
+            except Exception:  # noqa: BLE001 — a dead source is not fatal
+                continue
+        if pending:
+            wait_all(pending.values())
+            for index, reply in pending.items():
+                if reply.ok:
+                    answered.append((index, reply.result()))
+                else:
+                    reply.cancel()  # timed out / failed: drop the correlation
+        answered.sort()
+        return answered
+
     def head_target(self) -> int:
         """The height to sync to: the median of the responsive sources' heads
         (robust against a minority of sources lying about the tip; dead or
         partitioned sources are skipped rather than wedging the sync)."""
-        heads = []
-        for source in self.sources:
-            try:
-                heads.append(source.serve_head_number())
-            except Exception:  # noqa: BLE001 — a dead source is not fatal
-                continue
+        heads = sorted(head for _, head in self._gather("serve_head_number"))
         if not heads:
             raise SyncError("no header source answered a head request")
-        heads.sort()
         return heads[len(heads) // 2]
 
     def sync(self) -> BlockHeader:
@@ -79,17 +105,14 @@ class HeaderSyncer:
     def _fetch_checked(self, number: int) -> BlockHeader:
         """Fetch header ``number``, requiring quorum agreement on its hash.
 
-        Each source is asked exactly once; sources that raise (offline,
-        partitioned, timed out) simply don't vote.
+        Each source is asked exactly once (in parallel over futures-capable
+        transports); sources that fail (offline, partitioned, timed out)
+        simply don't vote.
         """
         votes: Counter[bytes] = Counter()
         candidates: dict[bytes, BlockHeader] = {}
         answers: dict[int, bytes] = {}
-        for index, source in enumerate(self.sources):
-            try:
-                header = source.serve_header(number)
-            except Exception:  # noqa: BLE001 — a dead source is not fatal
-                continue
+        for index, header in self._gather("serve_header", number):
             if header is None or header.number != number:
                 continue
             votes[header.hash] += 1

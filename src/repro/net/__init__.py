@@ -1,15 +1,18 @@
-"""Discrete-event simulated network (latency, loss, partitions, timeouts)."""
+"""Discrete-event simulated network (latency, loss, partitions, timeouts),
+plus the futures-based endpoint transport (submit, wait_any, hedged races)."""
 
+from .futures import EndpointTimeout, PendingReply, ReplyCancelled, wait_all, wait_any
 from .latency import FixedLatency, LatencyModel, PairwiseLatency, UniformLatency
-from .network import NetworkError, NetworkStats, SimNetwork
+from .network import LinkStats, NetworkError, NetworkStats, SimNetwork
 from .simclock import SimClock
-from .transport import EndpointTimeout, SimEndpoint, SimServerBinding
+from .transport import RemoteError, SimEndpoint, SimServerBinding
 
 __all__ = [
     "SimClock",
     "SimNetwork",
     "NetworkError",
     "NetworkStats",
+    "LinkStats",
     "LatencyModel",
     "FixedLatency",
     "UniformLatency",
@@ -17,4 +20,9 @@ __all__ = [
     "SimEndpoint",
     "SimServerBinding",
     "EndpointTimeout",
+    "ReplyCancelled",
+    "RemoteError",
+    "PendingReply",
+    "wait_any",
+    "wait_all",
 ]

@@ -17,7 +17,7 @@ from typing import Any, Callable, Optional
 from .latency import FixedLatency, LatencyModel
 from .simclock import SimClock
 
-__all__ = ["NetworkError", "SimNetwork", "NetworkStats"]
+__all__ = ["NetworkError", "SimNetwork", "NetworkStats", "LinkStats"]
 
 
 class NetworkError(Exception):
@@ -25,13 +25,37 @@ class NetworkError(Exception):
 
 
 @dataclass
+class LinkStats:
+    """Traffic counters for one directed (src, dst) link."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    bytes_sent: int = 0
+
+
+@dataclass
 class NetworkStats:
-    """Aggregate traffic counters."""
+    """Aggregate traffic counters, plus a per-link breakdown.
+
+    The per-link counters are what lets the hedged-query bench price the
+    *redundant* traffic of fan-out (requests sent to losing servers) rather
+    than just its wall-clock win.
+    """
 
     messages_sent: int = 0
     messages_delivered: int = 0
     messages_dropped: int = 0
     bytes_sent: int = 0
+    links: dict[tuple[str, str], LinkStats] = field(default_factory=dict)
+
+    def link(self, src: str, dst: str) -> LinkStats:
+        """Counters for the directed link ``src → dst`` (created lazily)."""
+        key = (src, dst)
+        stats = self.links.get(key)
+        if stats is None:
+            stats = self.links[key] = LinkStats()
+        return stats
 
 
 @dataclass(order=True)
@@ -68,6 +92,13 @@ class SimNetwork:
             raise NetworkError(f"node name {name!r} already registered")
         self._nodes[name] = node
 
+    def deregister(self, name: str) -> None:
+        """Detach a node.  Traffic already in flight toward it is dropped at
+        delivery time, and new sends to it simply count as dropped — to the
+        rest of the network a deregistered node is an unreachable host, not
+        a programming error."""
+        self._nodes.pop(name, None)
+
     def node(self, name: str) -> Any:
         try:
             return self._nodes[name]
@@ -101,23 +132,35 @@ class SimNetwork:
 
     def send(self, src: str, dst: str, payload: Any,
              size_bytes: Optional[int] = None) -> None:
-        """Schedule delivery of ``payload`` from ``src`` to ``dst``."""
-        if dst not in self._nodes:
-            raise NetworkError(f"unknown destination {dst!r}")
+        """Schedule delivery of ``payload`` from ``src`` to ``dst``.
+
+        An unknown (never-registered or deregistered) destination behaves
+        like an unreachable host: the message is counted and dropped, so
+        clients hit their timeout path instead of crashing mid-failover.
+        """
+        link = self.stats.link(src, dst)
         self.stats.messages_sent += 1
+        link.sent += 1
         size = size_bytes if size_bytes is not None else _estimate_size(payload)
         self.stats.bytes_sent += size
-        if not self.is_reachable(src, dst):
+        link.bytes_sent += size
+        if (dst not in self._nodes
+                or not self.is_reachable(src, dst)
+                or (self.drop_rate and self._rng.random() < self.drop_rate)):
             self.stats.messages_dropped += 1
-            return
-        if self.drop_rate and self._rng.random() < self.drop_rate:
-            self.stats.messages_dropped += 1
+            link.dropped += 1
             return
         delay = self.latency.delay(src, dst, size)
 
         def deliver() -> None:
+            node = self._nodes.get(dst)
+            if node is None:  # deregistered while the message was in flight
+                self.stats.messages_dropped += 1
+                link.dropped += 1
+                return
             self.stats.messages_delivered += 1
-            self._nodes[dst].on_message(src, payload)
+            link.delivered += 1
+            node.on_message(src, payload)
 
         self.schedule(delay, deliver)
 

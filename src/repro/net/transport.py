@@ -1,10 +1,23 @@
 """PARP over the simulated network.
 
-Bridges the synchronous :class:`~repro.parp.client.ServerEndpoint` interface
-to message passing: each endpoint call becomes a request event, the server
-binding processes it on delivery, and the client facade drives the event
-loop until the correlated reply lands (or a timeout passes — which is how
-Algorithm 1's ``hsTimer`` and general strong-synchrony violations surface).
+Two layers bridge :class:`~repro.parp.client.ServerEndpoint` to message
+passing:
+
+* **Non-blocking transport** — :meth:`SimEndpoint.submit` turns an endpoint
+  call into a request event and returns a
+  :class:`~repro.net.futures.PendingReply` immediately; the reply resolves
+  when the correlated response event is delivered.  N submits to M servers
+  can be in flight at once, and :func:`~repro.net.futures.wait_any` /
+  :func:`~repro.net.futures.wait_all` race them under simulated time.
+* **Blocking facade** — the classic ``ServerEndpoint`` methods are thin
+  submit-then-wait adapters over the futures, preserving the original
+  synchronous contract (a timeout is how Algorithm 1's ``hsTimer`` and
+  general strong-synchrony violations surface).
+
+Server-side failures travel back *typed*: the binding tags every error
+reply with the exception's class name, so the client maps serve-layer
+errors to :class:`~repro.parp.server.ServeError` and anything else to
+:class:`RemoteError` — no string matching.
 """
 
 from __future__ import annotations
@@ -17,15 +30,30 @@ from ..chain.header import BlockHeader
 from ..crypto.keys import Address
 from ..parp.handshake import Handshake, HandshakeConfirm, OpenChannelReceipt
 from ..parp.server import FullNodeServer, ServeError
+from .futures import DEFAULT_TIMEOUT, EndpointTimeout, PendingReply, ReplyCancelled
 from .network import SimNetwork
 
-__all__ = ["EndpointTimeout", "SimServerBinding", "SimEndpoint"]
+__all__ = [
+    "EndpointTimeout",
+    "ReplyCancelled",
+    "RemoteError",
+    "SimServerBinding",
+    "SimEndpoint",
+]
 
-DEFAULT_TIMEOUT = 10.0
 
+class RemoteError(ServeError):
+    """A non-serve-layer exception escaped the remote handler.
 
-class EndpointTimeout(Exception):
-    """No reply within the synchrony bound — the hsTimer fired."""
+    ``remote_type`` carries the server-side exception class name, so client
+    code can branch on the *kind* of failure without parsing messages.
+    (Subclasses :class:`ServeError` because, to the protocol, an unhandled
+    server bug is still "the server failed to produce a signed response".)
+    """
+
+    def __init__(self, remote_type: str, message: str) -> None:
+        super().__init__(f"{remote_type}: {message}" if remote_type else message)
+        self.remote_type = remote_type
 
 
 @dataclass
@@ -40,6 +68,14 @@ class _Reply:
     request_id: int
     ok: bool
     value: Any
+    error_kind: str = ""  # exception class name for failed calls
+
+
+def _remote_exception(kind: str, message: str) -> ServeError:
+    """Map a tagged error reply onto a typed client-side exception."""
+    if not kind or kind == "ServeError":
+        return ServeError(message)
+    return RemoteError(kind, message)
 
 
 class SimServerBinding:
@@ -66,18 +102,30 @@ class SimServerBinding:
             return
         if payload.method not in self._ALLOWED:
             reply = _Reply(payload.request_id, False,
-                           f"unknown endpoint method {payload.method}")
+                           f"unknown endpoint method {payload.method}",
+                           "ServeError")
         else:
             try:
                 value = getattr(self.server, payload.method)(*payload.args)
                 reply = _Reply(payload.request_id, True, value)
-            except (ServeError, Exception) as exc:  # noqa: BLE001 — faithful RPC edge
-                reply = _Reply(payload.request_id, False, str(exc))
+            except ServeError as exc:
+                # the serve layer rejected the request: an expected,
+                # attributable protocol outcome
+                reply = _Reply(payload.request_id, False, str(exc), "ServeError")
+            except Exception as exc:  # noqa: BLE001 — faithful RPC edge: an
+                # unhandled server bug must surface to the client as a typed
+                # remote failure, not kill the event loop
+                reply = _Reply(payload.request_id, False, str(exc),
+                               type(exc).__name__)
         self.network.send(self.name, src, reply, size_bytes=_reply_size(reply))
 
 
 class SimEndpoint:
-    """Client-side endpoint facade (implements ``ServerEndpoint``)."""
+    """Client-side endpoint facade.
+
+    Implements both the non-blocking :meth:`submit` transport contract and
+    the blocking ``ServerEndpoint`` protocol (as submit-then-wait adapters).
+    """
 
     def __init__(self, network: SimNetwork, name: str, server_name: str,
                  server_address: Address,
@@ -88,36 +136,69 @@ class SimEndpoint:
         self._address = server_address
         self.timeout = timeout
         self._ids = count(1)
-        self._inbox: dict[int, _Reply] = {}
+        #: in-flight correlations: request id → unresolved future
+        self._pending: dict[int, PendingReply] = {}
+        #: replies that arrived after their future was cancelled/timed out
+        self.late_replies = 0
         network.register(name, self)
 
     @property
     def address(self) -> Address:
         return self._address
 
+    @property
+    def in_flight(self) -> int:
+        """How many submitted requests are still awaiting their reply."""
+        return len(self._pending)
+
     def on_message(self, src: str, payload: Any) -> None:
-        if isinstance(payload, _Reply):
-            self._inbox[payload.request_id] = payload
+        if not isinstance(payload, _Reply):
+            return
+        pending = self._pending.pop(payload.request_id, None)
+        if pending is None:
+            # cancelled, timed out, or never ours: correlation is gone
+            self.late_replies += 1
+            return
+        if payload.ok:
+            pending.set_result(payload.value)
+        else:
+            pending.set_exception(
+                _remote_exception(payload.error_kind, str(payload.value)))
 
-    # -- the synchronous facade ------------------------------------------- #
+    # -- the non-blocking transport --------------------------------------- #
 
-    def _invoke(self, method: str, *args: Any) -> Any:
+    def submit(self, method: str, *args: Any,
+               timeout: Optional[float] = None) -> PendingReply:
+        """Issue ``method(*args)`` and return its future immediately.
+
+        The reply resolves when the network delivers the correlated
+        response; drive the loop via ``reply.result()``,
+        :func:`~repro.net.futures.wait_any`, or ``network.run_until``.
+        """
         request_id = next(self._ids)
         call = _Call(request_id, method, args)
+        reply = PendingReply(
+            method=method, target=self.server_name,
+            driver=self.network.run_while,
+            default_timeout=timeout if timeout is not None else self.timeout,
+            canceller=lambda: self._pending.pop(request_id, None),
+        )
+        self._pending[request_id] = reply
         self.network.send(self.name, self.server_name, call,
                           size_bytes=_call_size(call))
-        arrived = self.network.run_while(
-            lambda: request_id not in self._inbox, timeout=self.timeout,
-        )
-        if not arrived:
-            raise EndpointTimeout(
-                f"{method} to {self.server_name}: no reply within "
-                f"{self.timeout}s of simulated time"
-            )
-        reply = self._inbox.pop(request_id)
-        if not reply.ok:
-            raise ServeError(str(reply.value))
-        return reply.value
+        return reply
+
+    # -- the blocking facade (submit-then-wait) ---------------------------- #
+
+    def _invoke(self, method: str, *args: Any) -> Any:
+        reply = self.submit(method, *args)
+        try:
+            return reply.result()
+        except EndpointTimeout:
+            # drop the correlation so a reply limping in later is discarded
+            # instead of resolving a future nobody is holding
+            reply.cancel()
+            raise
 
     # -- ServerEndpoint protocol -------------------------------------------- #
 

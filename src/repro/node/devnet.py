@@ -211,6 +211,29 @@ class Devnet:
         if not result.succeeded:
             raise RuntimeError(f"stake deposit reverted: {result.error}")
 
+    def attach_server(self, key: PrivateKey, name: str = "",
+                      server_cls: Optional[type] = None, stake: bool = True,
+                      **server_kwargs: Any):
+        """Stake (optionally) and attach one PARP serving node to this chain.
+
+        The standard marketplace/bench boilerplate in one call: lock the
+        operator's collateral in the Deposit Module, spin up a
+        :class:`~repro.node.fullnode.FullNode` following this chain, and
+        wrap it in ``server_cls`` (default
+        :class:`~repro.parp.server.FullNodeServer`; pass the adversary class
+        to build a malicious server).  ``server_kwargs`` reach the server
+        constructor (fee schedules, clocks, attacks, …).
+        """
+        from ..parp.server import FullNodeServer
+        from .fullnode import FullNode
+
+        if stake:
+            self.stake_full_node(key)
+        cls = server_cls if server_cls is not None else FullNodeServer
+        node = FullNode(self.chain, key=key,
+                        name=name or f"fn-{key.address.hex()[:6]}")
+        return cls(node, **server_kwargs)
+
     def advance_blocks(self, count: int) -> None:
         """Mine ``count`` empty blocks (to pass dispute/unbonding windows)."""
         for _ in range(count):

@@ -21,6 +21,7 @@ _EXPORTS = {
     "RequestOutcome": "client", "SessionError": "client",
     "InvalidResponse": "client", "FraudDetected": "client",
     "BatchItem": "client", "BatchOutcome": "client",
+    "PendingRequest": "client", "PendingBatch": "client",
     # server
     "FullNodeServer": "server", "ServeError": "server", "ServerStats": "server",
     # channel state
@@ -39,7 +40,7 @@ _EXPORTS = {
     # marketplace
     "Marketplace": "marketplace", "MarketplaceClient": "marketplace",
     "MarketplaceError": "marketplace", "MarketplaceStats": "marketplace",
-    "ServerAdvertisement": "marketplace",
+    "ServerAdvertisement": "marketplace", "HedgeAttempt": "marketplace",
     # reputation
     "ReputationLedger": "reputation", "ReputationEvent": "reputation",
     "EVENT_WEIGHTS": "reputation", "EVENT_KINDS": "reputation",

@@ -18,8 +18,8 @@ The paid request path (§IV-E.3, steps (A) and (D) of Fig. 5):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Optional, Protocol, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Optional, Protocol, Sequence, Union
 
 from ..chain.header import BlockHeader
 from ..chain.transaction import Transaction, UnsignedTransaction
@@ -27,6 +27,7 @@ from ..contracts.addresses import CHANNELS_MODULE_ADDRESS
 from ..contracts.channels import channel_status_slot
 from ..crypto.keys import Address, PrivateKey
 from ..lightclient.sync import HeaderSyncer, SyncError
+from ..net.futures import PendingReply
 from ..rlp import codec as rlp
 from ..vm.abi import encode_call
 from .channel import ChannelError, ClientChannel
@@ -63,6 +64,8 @@ __all__ = [
     "RequestOutcome",
     "BatchItem",
     "BatchOutcome",
+    "PendingRequest",
+    "PendingBatch",
     "LightClientSession",
 ]
 
@@ -71,7 +74,15 @@ DEFAULT_GAS_LIMIT = 500_000
 
 
 class ServerEndpoint(Protocol):
-    """What a light client needs from a (remote) PARP full node."""
+    """What a light client needs from a (remote) PARP full node.
+
+    Endpoints may additionally expose the non-blocking transport contract
+    ``submit(method, *args) -> PendingReply`` (see
+    :class:`~repro.net.transport.SimEndpoint`); sessions probe for it via
+    getattr and fall back to executing blocking calls into an
+    already-resolved future, so ``begin_*``/``collect`` work against any
+    endpoint — in-process servers just lose the overlap.
+    """
 
     @property
     def address(self) -> Address: ...
@@ -148,6 +159,41 @@ class BatchOutcome:
 
     def __len__(self) -> int:
         return len(self.items)
+
+
+@dataclass
+class PendingRequest:
+    """A signed, paid, submitted — but not yet verified — request.
+
+    Produced by :meth:`LightClientSession.begin_request`; hand it back to
+    :meth:`LightClientSession.collect` to wait for the reply and run the
+    §V-D checks.  The payment left the budget at submit time; cancelling
+    abandons the correlation (the channel keeps ``spent > acked``, and the
+    unacked amount is not volunteered at closure).
+    """
+
+    request: PARPRequest
+    call: RpcCall
+    reply: PendingReply
+    collected: bool = field(default=False, compare=False)
+
+    def cancel(self) -> bool:
+        """Abandon the in-flight request; True if it had not resolved."""
+        return self.reply.cancel()
+
+
+@dataclass
+class PendingBatch:
+    """A signed, paid, submitted — but not yet verified — batch."""
+
+    request: BatchRequest
+    calls: tuple[RpcCall, ...]
+    reply: PendingReply
+    collected: bool = field(default=False, compare=False)
+
+    def cancel(self) -> bool:
+        """Abandon the in-flight batch; True if it had not resolved."""
+        return self.reply.cancel()
 
 
 class LightClientSession:
@@ -267,7 +313,47 @@ class LightClientSession:
 
     def request_call(self, call: RpcCall, tip: int = 0) -> RequestOutcome:
         """Like :meth:`request` but for a pre-built call — a failing-over
-        marketplace client re-issues the identical γ to the next server."""
+        marketplace client re-issues the identical γ to the next server.
+
+        Thin submit-then-wait adapter over the non-blocking path.
+        """
+        return self.collect(self.begin_request(call, tip=tip))
+
+    # ------------------------------------------------------------------ #
+    # The non-blocking request path (issue now, verify on collect)
+    # ------------------------------------------------------------------ #
+
+    def _submit(self, method: str, wire: bytes) -> PendingReply:
+        """Issue one endpoint call without blocking.
+
+        Transport-capable endpoints return a genuinely in-flight future;
+        in-process endpoints execute synchronously and hand back an
+        already-resolved one, so callers never branch.
+        """
+        submit = getattr(self.endpoint, "submit", None)
+        if submit is not None:
+            return submit(method, wire)
+        try:
+            value = getattr(self.endpoint, method)(wire)
+        except Exception as exc:  # noqa: BLE001 — resolve, don't raise: the
+            # failure surfaces (typed) at collect time, same as over a network
+            return PendingReply.failed(exc, method=method)
+        return PendingReply.completed(value, method=method)
+
+    def begin_request(self, call: RpcCall, tip: int = 0) -> PendingRequest:
+        """Step (A) without the wait: sign, pay, submit, return the future.
+
+        Money leaves our budget the moment the signature is on the wire;
+        verification (step (D)) runs when the outcome is :meth:`collect`-ed.
+        Multiple requests may be in flight on one session at once — their
+        cumulative payment amounts are signed in issue order, so pipelining
+        assumes in-order delivery (true for fixed/pairwise link latencies;
+        a transport that reorders, e.g. ``UniformLatency``, can deliver a
+        later, higher amount first, and the server's monotonic payment
+        check then rejects the earlier request — it surfaces as INVALID at
+        collect time and failover handles it).  Hedged queries are immune:
+        each race leg rides its own channel.
+        """
         if self.state is not LightClientState.BONDED or self.channel is None:
             raise SessionError(f"no bonded channel (state={self.state.value})")
         price = self.fee_schedule.price(call) + tip
@@ -277,15 +363,61 @@ class LightClientSession:
             raise SessionError(str(exc)) from exc
 
         request = self.build_request(call, amount)
-        # Money leaves our budget the moment the signature is on the wire.
         self.channel.record_request(amount)
+        reply = self._submit("serve_request", request.encode_wire())
+        return PendingRequest(request=request, call=call, reply=reply)
+
+    def begin_batch(self, calls: Sequence[RpcCall],
+                    tip: int = 0) -> PendingBatch:
+        """Non-blocking :meth:`query_batch` issue (no per-key fallback:
+        callers that want it use the blocking adapter, which probes first).
+        """
+        if self.state is not LightClientState.BONDED or self.channel is None:
+            raise SessionError(f"no bonded channel (state={self.state.value})")
+        calls = tuple(calls)
+        if not calls:
+            raise SessionError("a batch needs at least one call")
+        if not self.batch_supported():
+            raise SessionError(
+                "endpoint does not speak our batch protocol version; "
+                "use query_batch for the per-key fallback"
+            )
+        price = self.fee_schedule.batch_price(calls) + tip
         try:
-            raw = self.endpoint.serve_request(request.encode_wire())
+            amount = self.channel.next_amount(price)
+        except ChannelError as exc:
+            raise SessionError(str(exc)) from exc
+
+        request = self.build_batch_request(calls, amount)
+        self.channel.record_request(amount)
+        reply = self._submit("serve_batch", request.encode_wire())
+        return PendingBatch(request=request, calls=calls, reply=reply)
+
+    def collect(self, pending: Union[PendingRequest, PendingBatch],
+                ) -> Union[RequestOutcome, BatchOutcome]:
+        """Wait for the correlated reply and verify it (step (D)).
+
+        A transport failure — timeout, cancellation, or a typed remote
+        error — classifies as INVALID with the ``transport`` check, exactly
+        like the blocking path always has; a verified response advances the
+        channel's acked amount.  Each pending outcome collects once.
+        """
+        if pending.collected:
+            raise SessionError("pending outcome was already collected")
+        pending.collected = True
+        try:
+            raw = pending.reply.result()
         except Exception as exc:
+            # drop the correlation (no-op if already resolved) so a reply
+            # limping in after the timeout is discarded and counted late
+            # instead of resolving a future nobody holds anymore
+            pending.reply.cancel()
             raise InvalidResponse(VerificationReport(
                 ResponseClass.INVALID, "transport", str(exc),
             )) from exc
-        return self.process_response(request, raw)
+        if isinstance(pending, PendingBatch):
+            return self.process_batch_response(pending.request, raw)
+        return self.process_response(pending.request, raw)
 
     def build_request(self, call: RpcCall, amount: int) -> PARPRequest:
         """Step (A): pin h_B and produce the doubly signed request."""
@@ -373,21 +505,8 @@ class LightClientSession:
             raise SessionError("a batch needs at least one call")
         if not self.batch_supported():
             return self._batch_fallback(calls, tip)
-        price = self.fee_schedule.batch_price(calls) + tip
-        try:
-            amount = self.channel.next_amount(price)
-        except ChannelError as exc:
-            raise SessionError(str(exc)) from exc
-
-        request = self.build_batch_request(calls, amount)
-        self.channel.record_request(amount)
-        try:
-            raw = self.endpoint.serve_batch(request.encode_wire())
-        except Exception as exc:
-            raise InvalidResponse(VerificationReport(
-                ResponseClass.INVALID, "transport", str(exc),
-            )) from exc
-        return self.process_batch_response(request, raw)
+        # Thin submit-then-wait adapter over the non-blocking path.
+        return self.collect(self.begin_batch(calls, tip=tip))
 
     def build_batch_request(self, calls: Sequence[RpcCall],
                             amount: int) -> BatchRequest:

@@ -26,12 +26,16 @@ from typing import Any, Optional, Sequence
 
 from ..crypto.keys import Address, PrivateKey
 from ..lightclient.sync import HeaderSyncer
+from ..net.futures import DEFAULT_TIMEOUT, wait_any
 from .client import (
     DEFAULT_GAS_PRICE,
+    BatchItem,
     BatchOutcome,
     FraudDetected,
     InvalidResponse,
     LightClientSession,
+    PendingBatch,
+    PendingRequest,
     RequestOutcome,
     ServerEndpoint,
     SessionError,
@@ -64,6 +68,7 @@ __all__ = [
     "ServerAdvertisement",
     "Marketplace",
     "MarketplaceStats",
+    "HedgeAttempt",
     "MarketplaceClient",
 ]
 
@@ -167,6 +172,37 @@ class MarketplaceStats:
     frauds_detected: int = 0
     frauds_slashed: int = 0
     version_mismatches: int = 0
+    hedged_queries: int = 0       # query_hedged races run
+    hedge_launches: int = 0       # batches issued across all races
+    hedges_cancelled: int = 0     # losing in-flight requests cancelled
+
+
+@dataclass
+class HedgeAttempt:
+    """One server's leg of a hedged race (see ``MarketplaceClient.last_hedge``).
+
+    ``outcome`` ∈ {"in-flight", "won", "cancelled", "unused", "timeout",
+    "invalid", "fraud", "session-error"} — "cancelled" means the request was
+    provably still in flight when the winner's response verified; "unused"
+    means the reply had already arrived but was never read.
+    """
+
+    address: Address
+    label: str
+    pending: "PendingBatch | PendingRequest"
+    outcome: str = "in-flight"
+    detail: str = ""
+
+
+@dataclass
+class _HedgeEntry:
+    """Internal per-leg race state."""
+
+    ad: ServerAdvertisement
+    session: LightClientSession
+    pending: "PendingBatch | PendingRequest"
+    deadline: Optional[float]     # sim-clock instant; None for in-process
+    attempt: HedgeAttempt
 
 
 #: consecutive transport timeouts before a server is demoted to last resort.
@@ -208,6 +244,8 @@ class MarketplaceClient:
         #: acked amounts survive for settlement (escrow is money)
         self.retired: list[tuple[Address, LightClientSession]] = []
         self.stats = MarketplaceStats()
+        #: per-leg record of the most recent hedged race (diagnostics/tests)
+        self.last_hedge: list[HedgeAttempt] = []
         self._headers = headers
         self._clock = clock
         self._ticks = 0.0
@@ -386,8 +424,245 @@ class MarketplaceClient:
         return self._serve(lambda s: s.query_batch(calls, tip=tip),
                            describe=f"batch[{len(calls)}]", want_batch=True)
 
-    def _serve(self, issue, describe: str, want_batch: bool = False):
+    # ------------------------------------------------------------------ #
+    # Hedged fan-out: the failover race
+    # ------------------------------------------------------------------ #
+
+    def query_hedged(self, calls: Sequence[RpcCall], fanout: int = 2,
+                     tip: int = 0) -> BatchOutcome:
+        """Issue the same batch on the ``fanout`` best-ranked sessions and
+        accept the **first response that survives §V-D verification**.
+
+        This converts the serial timeout-chain failover of :meth:`_serve`
+        into a race: every leg is a signed, paid request on that server's
+        own channel (only the winner's payment is ever acked — losers are
+        cancelled while in flight, and their unacked amounts are not
+        volunteered at closure).  A leg that fails — fraud (escalated and
+        slashed as usual), invalid response, or timeout — is replaced by
+        the next-ranked server, so the race keeps its width until the
+        marketplace runs out of candidates.  Legs that never verify leave
+        their reputation events behind exactly like serial failover.
+
+        A single-call query rides the single-request wire path (its fraud
+        packages are what the on-chain FDM can decode, so a fast-but-
+        malicious loser is actually *slashed*, not just dropped); multi-call
+        queries ride the batch path, so servers that don't speak our batch
+        version never join those races — and when *no* eligible server
+        speaks it, the query falls back to the serial :meth:`query_batch`
+        path (which degrades per key).
+        """
+        calls = tuple(calls)
+        if not calls:
+            raise MarketplaceError("a hedged query needs at least one call")
+        fanout = max(1, int(fanout))
+        describe = f"hedged batch[{len(calls)}]×{fanout}"
         tried: set[Address] = set()
+        #: non-batch-speaking servers passed over while picking race legs —
+        #: the per-key fallback pool if the whole race comes up empty
+        skipped: set[Address] = set()
+        attempts: list[str] = []
+        active: list[_HedgeEntry] = []
+        self.last_hedge = []
+
+        for _ in range(fanout):
+            self._hedge_launch(calls, tip, tried, skipped, attempts, active)
+        if not active:
+            # nobody could even be issued to (commonly: no batch speakers) —
+            # the serial path still knows how to degrade per key, excluding
+            # the servers the launch attempts already burned
+            return self._serve(lambda s: s.query_batch(calls, tip=tip),
+                               describe=f"batch[{len(calls)}]",
+                               want_batch=True, exclude=tried - skipped)
+        self.stats.hedged_queries += 1
+
+        while active:
+            self._hedge_wait(active)
+            clock = self._hedge_clock(active)
+            now = clock.now() if clock is not None else None
+            # a clockless pass with nothing resolved means _hedge_wait
+            # already ran the replies' own drivers for a full default bound
+            stalled = (now is None
+                       and not any(e.pending.reply.done() for e in active))
+            for entry in list(active):
+                expired = (now is not None and entry.deadline is not None
+                           and now >= entry.deadline)
+                if entry.pending.reply.done():
+                    active.remove(entry)
+                    outcome = self._hedge_collect(entry, attempts)
+                    if outcome is not None:
+                        self._hedge_win(entry, active)
+                        return outcome
+                    self._hedge_launch(calls, tip, tried, skipped, attempts,
+                                       active)
+                elif expired or stalled:
+                    # the synchrony bound passed with the reply still in
+                    # flight: cancel the leg and collect it, so the shared
+                    # failover policy (_penalize_failure) hands out the
+                    # same transport-timeout verdict as the serial path.
+                    # (stalled: a clockless transport whose legs a full
+                    # default-bound wait could not resolve — timing them
+                    # out keeps the race loop from spinning forever.)
+                    active.remove(entry)
+                    entry.pending.cancel()
+                    outcome = self._hedge_collect(entry, attempts)
+                    if outcome is not None:
+                        # resolved on the deadline boundary and verified:
+                        # a win is a win
+                        self._hedge_win(entry, active)
+                        return outcome
+                    self._hedge_launch(calls, tip, tried, skipped, attempts,
+                                       active)
+        if skipped:
+            # every batch speaker failed, but servers without batch support
+            # were never given a chance — degrade to the serial per-key path
+            # (excluding the already-failed racers) rather than failing a
+            # query an eligible server could answer
+            return self._serve(lambda s: s.query_batch(calls, tip=tip),
+                               describe=f"batch[{len(calls)}]",
+                               want_batch=True, exclude=tried - skipped)
+        raise MarketplaceError(f"{describe}: every eligible server failed",
+                               attempts)
+
+    def _hedge_launch(self, calls: tuple[RpcCall, ...], tip: int,
+                      tried: set[Address], skipped: set[Address],
+                      attempts: list[str],
+                      active: list[_HedgeEntry]) -> bool:
+        """Add the next-ranked batch-speaking server to the race."""
+        while True:
+            ranked = [ad for ad in self.eligible() if ad.address not in tried]
+            if not ranked:
+                return False
+            ad = ranked[0]
+            tried.add(ad.address)
+            try:
+                session = self._session_for(ad)
+            except SessionError as exc:
+                attempts.append(f"{ad.label}: connect: {exc}")  # client-side
+                self.stats.failovers += 1
+                continue
+            except Exception as exc:  # noqa: BLE001 — connect failure ⇒ next
+                self.reputation.record(ad.address, EVENT_TIMEOUT, self._now())
+                attempts.append(f"{ad.label}: connect: {exc}")
+                self.stats.failovers += 1
+                continue
+            single = len(calls) == 1
+            if not single and not session.batch_supported():
+                if ad.speaks_batch:
+                    # the ad claimed our batch version but the probe says
+                    # otherwise — that lie is what the mismatch event is
+                    # for; an honestly-advertised legacy server is merely
+                    # passed over (and kept for the per-key fallback)
+                    self._note_version_mismatch(ad)
+                attempts.append(f"{ad.label}: no batch support")
+                skipped.add(ad.address)
+                continue
+            try:
+                pending = (session.begin_request(calls[0], tip=tip) if single
+                           else session.begin_batch(calls, tip=tip))
+            except SessionError as exc:
+                # local condition (typically an exhausted channel budget)
+                attempts.append(f"{ad.label}: session: {exc}")
+                self.stats.failovers += 1
+                continue
+            attempt = HedgeAttempt(address=ad.address, label=ad.label,
+                                   pending=pending)
+            self.last_hedge.append(attempt)
+            self.stats.hedge_launches += 1
+            active.append(_HedgeEntry(
+                ad=ad, session=session, pending=pending,
+                deadline=self._hedge_deadline(session), attempt=attempt,
+            ))
+            return True
+
+    def _hedge_deadline(self, session: LightClientSession) -> Optional[float]:
+        """When this leg's synchrony bound expires (None for in-process
+        endpoints, whose replies resolve at submit time)."""
+        network = getattr(session.endpoint, "network", None)
+        if network is None:
+            return None
+        timeout = getattr(session.endpoint, "timeout", None)
+        if timeout is None:
+            timeout = DEFAULT_TIMEOUT
+        return network.clock.now() + timeout
+
+    def _hedge_clock(self, active: list[_HedgeEntry]):
+        """The race's notion of "now": the first networked leg's sim clock.
+
+        Races are built from endpoints on one simulated network (every
+        in-repo construction); legs on a *different* network still get
+        their loop driven by ``wait_any``'s per-driver groups, but their
+        deadlines are read against this clock, so keep a race on one
+        network when timeout precision matters.
+        """
+        for entry in active:
+            network = getattr(entry.session.endpoint, "network", None)
+            if network is not None:
+                return network.clock
+        return None
+
+    def _hedge_wait(self, active: list[_HedgeEntry]) -> None:
+        """Drive the event loop until the first active leg resolves (or the
+        nearest synchrony bound passes)."""
+        replies = [entry.pending.reply for entry in active]
+        if any(reply.done() for reply in replies):
+            return
+        clock = self._hedge_clock(active)
+        if clock is None:
+            # no sim clock to race deadlines against: let the replies' own
+            # drivers (if any) run one full default bound; whatever is still
+            # pending afterwards gets timed out by the caller
+            wait_any(replies)
+            return
+        deadlines = [entry.deadline for entry in active
+                     if entry.deadline is not None]
+        horizon = (min(deadlines) - clock.now()) if deadlines else None
+        if horizon is not None and horizon <= 0:
+            return  # an overdue leg is waiting to be timed out
+        wait_any(replies, timeout=horizon)
+
+    def _hedge_collect(self, entry: _HedgeEntry,
+                       attempts: list[str]) -> Optional[BatchOutcome]:
+        """Verify one resolved leg; None means it lost (and was penalized)."""
+        try:
+            outcome = entry.session.collect(entry.pending)
+        except (FraudDetected, InvalidResponse, SessionError) as exc:
+            tag, line = self._penalize_failure(entry.ad, exc)
+            entry.attempt.outcome = tag
+            entry.attempt.detail = (exc.report.check
+                                    if isinstance(exc, (FraudDetected,
+                                                        InvalidResponse))
+                                    else str(exc))
+            attempts.append(line)
+            self.stats.failovers += 1
+            return None
+        entry.attempt.outcome = "won"
+        if isinstance(outcome, RequestOutcome):  # single-call leg
+            outcome = BatchOutcome(
+                items=(BatchItem(
+                    call=entry.pending.call, status=outcome.response.status,
+                    result=outcome.response.result, report=outcome.report,
+                ),),
+                report=outcome.report, amount_paid=outcome.amount_paid,
+                batched=False,
+            )
+        return outcome
+
+    def _hedge_win(self, winner: _HedgeEntry,
+                   losers: list[_HedgeEntry]) -> None:
+        """Settle the race: cancel in-flight losers, credit the winner."""
+        for loser in losers:
+            if loser.pending.cancel():
+                loser.attempt.outcome = "cancelled"
+                self.stats.hedges_cancelled += 1
+            else:
+                loser.attempt.outcome = "unused"  # arrived, never read
+        self._cold.pop(winner.ad.address, None)
+        self.reputation.record(winner.ad.address, EVENT_SERVED_OK, self._now())
+        self.stats.queries += 1
+
+    def _serve(self, issue, describe: str, want_batch: bool = False,
+               exclude: Optional[set[Address]] = None):
+        tried: set[Address] = set(exclude or ())
         attempts: list[str] = []
         while True:
             ad = self._next_candidate(tried, want_batch)
@@ -411,33 +686,39 @@ class MarketplaceClient:
                 self._note_version_mismatch(ad)
             try:
                 outcome = issue(session)
-            except FraudDetected as exc:
-                self._on_fraud(ad, exc)
-                attempts.append(f"{ad.label}: fraud [{exc.report.check}]")
-                self.stats.failovers += 1
-                self._replenish()
-                continue
-            except InvalidResponse as exc:
-                if exc.report.check == "transport":
-                    kind = EVENT_TIMEOUT       # silent/dead/partitioned server
-                    self._cold[ad.address] = self._cold.get(ad.address, 0) + 1
-                else:
-                    kind = EVENT_INVALID_RESPONSE
-                    self._retire_session(ad.address)  # §IV-F: terminate
-                self.reputation.record(ad.address, kind, self._now())
-                attempts.append(f"{ad.label}: {kind} [{exc.report.check}]")
-                self.stats.failovers += 1
-                continue
-            except SessionError as exc:
-                # local condition (most commonly: this channel's budget is
-                # exhausted) — not the server's fault; just route elsewhere
-                attempts.append(f"{ad.label}: session: {exc}")
+            except (FraudDetected, InvalidResponse, SessionError) as exc:
+                _, line = self._penalize_failure(ad, exc)
+                attempts.append(line)
                 self.stats.failovers += 1
                 continue
             self._cold.pop(ad.address, None)
             self.reputation.record(ad.address, EVENT_SERVED_OK, self._now())
             self.stats.queries += 1
             return outcome
+
+    def _penalize_failure(self, ad: ServerAdvertisement,
+                          exc: SessionError) -> tuple[str, str]:
+        """The one failover policy, shared by the serial path and the hedged
+        race: record reputation/stats for a failed attempt and return an
+        ``(outcome tag, attempts-log line)`` pair."""
+        if isinstance(exc, FraudDetected):
+            self._on_fraud(ad, exc)
+            self._replenish()
+            return "fraud", f"{ad.label}: fraud [{exc.report.check}]"
+        if isinstance(exc, InvalidResponse):
+            if exc.report.check == "transport":
+                kind = EVENT_TIMEOUT       # silent/dead/partitioned server
+                self._cold[ad.address] = self._cold.get(ad.address, 0) + 1
+                tag = "timeout"
+            else:
+                kind = EVENT_INVALID_RESPONSE
+                self._retire_session(ad.address)  # §IV-F: terminate
+                tag = "invalid"
+            self.reputation.record(ad.address, kind, self._now())
+            return tag, f"{ad.label}: {kind} [{exc.report.check}]"
+        # plain SessionError: a local condition (most commonly this channel's
+        # budget is exhausted) — not the server's fault, no reputation event
+        return "session-error", f"{ad.label}: session: {exc}"
 
     def _next_candidate(self, tried: set[Address],
                         want_batch: bool) -> Optional[ServerAdvertisement]:

@@ -135,9 +135,15 @@ class FullNodeServer:
         # Multi-client session multiplexing: channel registration and each
         # channel's payment accounting are serialized independently, so N
         # concurrent clients (threads or interleaved sim events) cannot
-        # corrupt the (a, σ_a) pair that is the node's money.
+        # corrupt the (a, σ_a) pair that is the node's money.  Channel locks
+        # are reentrant: with the futures transport a serve handler can run
+        # while an outer frame of the same (single-threaded) event loop is
+        # already inside this channel — e.g. a client driving the loop from
+        # collect() while another of its in-flight requests is delivered —
+        # and a plain Lock would self-deadlock where no real contention
+        # exists.  Cross-thread exclusion is unchanged.
         self._registry_lock = threading.Lock()
-        self._channel_locks: dict[bytes, threading.Lock] = {}
+        self._channel_locks: dict[bytes, threading.RLock] = {}
         self._stats_lock = threading.Lock()
 
     @property
@@ -169,7 +175,7 @@ class FullNodeServer:
                 return None, None
             lock = self._channel_locks.get(alpha)
             if lock is None:  # channel injected directly (tests, adoption)
-                lock = self._channel_locks[alpha] = threading.Lock()
+                lock = self._channel_locks[alpha] = threading.RLock()
             return channel, lock
 
     def _bump(self, field_name: str, amount: int = 1) -> None:
@@ -226,7 +232,7 @@ class FullNodeServer:
             self.channels[alpha] = ServerChannel(
                 alpha=alpha, light_client=light_client, budget=budget,
             )
-            self._channel_locks[alpha] = threading.Lock()
+            self._channel_locks[alpha] = threading.RLock()
         self._bump("channels_opened")
         return OpenChannelReceipt.build(self.key, alpha)
 

@@ -1,0 +1,113 @@
+"""Concurrency semantics of the futures transport, property-tested.
+
+K requests in flight across M servers under random latencies, loss, and
+partitions: every :class:`PendingReply` must resolve **exactly once**
+(value, error, or cancel) and a reply must never resolve a future it does
+not correlate with — the two invariants everything above the transport
+(hedged queries, pipelined sessions, first-valid failover) stands on.
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.keys import Address
+from repro.net import (
+    RemoteError,
+    SimEndpoint,
+    SimNetwork,
+    SimServerBinding,
+    UniformLatency,
+)
+from repro.parp.server import ServeError
+
+
+class EchoServer:
+    """Echoes (server name, token) — enough to detect cross-correlation."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def serve_header(self, token):
+        return (self.name, token)
+
+    def serve_head_number(self):
+        raise RuntimeError("injected server bug")
+
+    def serve_request(self, wire):
+        raise ServeError("injected serve rejection")
+
+
+#: per-request behavior classes the strategy draws from
+KINDS = ("echo", "remote-bug", "serve-error")
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n_servers=st.integers(2, 4),
+    seed=st.integers(0, 2 ** 16),
+    drop_rate=st.sampled_from([0.0, 0.0, 0.25, 0.5]),
+    requests=st.lists(
+        st.tuples(st.integers(0, 3), st.sampled_from(KINDS)),
+        min_size=1, max_size=16,
+    ),
+    partitions=st.sets(st.integers(0, 3), max_size=2),
+)
+def test_replies_resolve_exactly_once_and_never_cross(
+        n_servers, seed, drop_rate, requests, partitions):
+    net = SimNetwork(latency=UniformLatency(0.005, 0.25, seed=seed),
+                     drop_rate=drop_rate, seed=seed)
+    endpoints = []
+    for j in range(n_servers):
+        SimServerBinding(net, f"srv-{j}", EchoServer(f"srv-{j}"))
+        endpoints.append(SimEndpoint(net, f"lc-{j}", f"srv-{j}",
+                                     Address.zero(), timeout=5.0))
+
+    resolutions: Counter[int] = Counter()
+    issued = []  # (reply, server_index, token, kind)
+    half = len(requests) // 2
+    for i, (server_pick, kind) in enumerate(requests):
+        if i == half:
+            # mid-burst, sever some client↔server links: in-flight traffic
+            # (either direction) on those links is lost
+            for j in partitions:
+                if j < n_servers:
+                    net.partition(f"lc-{j}", f"srv-{j}")
+        j = server_pick % n_servers
+        endpoint = endpoints[j]
+        if kind == "echo":
+            reply = endpoint.submit("serve_header", i)
+        elif kind == "remote-bug":
+            reply = endpoint.submit("serve_head_number")
+        else:
+            reply = endpoint.submit("serve_request", b"x")
+        reply.add_done_callback(lambda r, i=i: resolutions.update([i]))
+        issued.append((reply, j, i, kind))
+
+    net.run()  # drain everything that can still be delivered
+
+    for reply, j, token, kind in issued:
+        if reply.ok:
+            assert kind == "echo"
+            # the value correlates with exactly this request's server+token
+            assert reply.result() == (f"srv-{j}", token)
+        elif reply.done():
+            exc = reply.exception()
+            if kind == "remote-bug":
+                assert isinstance(exc, RemoteError)
+                assert exc.remote_type == "RuntimeError"
+            else:
+                assert kind == "serve-error"
+                assert isinstance(exc, ServeError)
+                assert not isinstance(exc, RemoteError)
+        else:
+            # dropped or partitioned: still pending — cancel resolves it
+            assert reply.cancel() is True
+            assert reply.cancelled()
+
+    # the exactly-once invariant: every reply resolved one single time
+    assert resolutions == Counter({i: 1 for i in range(len(issued))})
+    # and no correlation leaked: nothing is left pending on any endpoint
+    for endpoint in endpoints:
+        assert endpoint.in_flight == 0

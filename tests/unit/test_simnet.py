@@ -81,11 +81,30 @@ class TestDelivery:
         net.run()
         assert [p for _, p in sink.received] == [0, 1, 2, 3, 4]
 
-    def test_unknown_destination(self):
+    def test_unknown_destination_is_dropped_not_fatal(self):
+        """A never-registered destination looks like an unreachable host:
+        the message is counted and dropped so clients hit their timeout
+        path instead of crashing mid-failover."""
         net = SimNetwork()
         net.register("a", Recorder())
-        with pytest.raises(NetworkError):
-            net.send("a", "ghost", "x")
+        net.send("a", "ghost", "x")
+        net.run()
+        assert net.stats.messages_sent == 1
+        assert net.stats.messages_dropped == 1
+        assert net.stats.link("a", "ghost").dropped == 1
+
+    def test_deregistered_destination_drops_in_flight_traffic(self):
+        net = SimNetwork(latency=FixedLatency(0.1))
+        sink = Recorder()
+        net.register("a", Recorder())
+        net.register("b", sink)
+        net.send("a", "b", "in-flight")   # scheduled before the deregister
+        net.deregister("b")
+        net.send("a", "b", "post-mortem")
+        net.run()
+        assert sink.received == []
+        assert net.stats.messages_dropped == 2
+        assert net.stats.link("a", "b").dropped == 2
 
     def test_duplicate_registration(self):
         net = SimNetwork()
@@ -102,6 +121,26 @@ class TestDelivery:
         assert net.stats.messages_sent == 1
         assert net.stats.messages_delivered == 1
         assert net.stats.bytes_sent == 100
+
+    def test_per_link_stats(self):
+        """Counters are kept per directed (src, dst) link, so the fan-out
+        bench can price redundant hedge traffic link by link."""
+        net = SimNetwork(latency=FixedLatency(0.01))
+        net.register("a", Recorder())
+        net.register("b", Recorder())
+        net.register("c", Recorder())
+        net.partition("a", "c")
+        net.send("a", "b", b"x" * 10)
+        net.send("a", "b", b"y" * 20)
+        net.send("a", "c", b"z" * 30)
+        net.run()
+        ab = net.stats.link("a", "b")
+        assert (ab.sent, ab.delivered, ab.dropped, ab.bytes_sent) == (2, 2, 0, 30)
+        ac = net.stats.link("a", "c")
+        assert (ac.sent, ac.delivered, ac.dropped, ac.bytes_sent) == (1, 0, 1, 30)
+        # the aggregate view is the sum of the links
+        assert net.stats.messages_sent == 3
+        assert net.stats.messages_dropped == 1
 
 
 class TestFailures:
