@@ -46,6 +46,13 @@ from ..rlp import codec as rlp
 from ..storage.nodestore import NodeStore, as_node_store
 from ..trie.mpt import EMPTY_TRIE_ROOT, MerklePatriciaTrie
 from ..trie.proof import generate_proof
+from ..trie.shard import (
+    ShardRange,
+    collect_subtree,
+    extract_shard_nodes,
+    shard_commitment,
+    shard_head,
+)
 from .account import Account
 
 __all__ = ["StateDB", "InsufficientBalance"]
@@ -330,3 +337,43 @@ class StateDB:
         """Iterate (hashed address key, account) pairs."""
         for key, raw in self._trie.items():
             yield key, Account.decode(raw)
+
+    # ------------------------------------------------------------------ #
+    # Sharding (see :mod:`repro.trie.shard`)
+    # ------------------------------------------------------------------ #
+
+    def extract_shard(self, shard: ShardRange) -> dict[bytes, bytes]:
+        """The node set a shard server materializes for ``shard``.
+
+        The account-trie slice (root node + owned subtrees) plus the *whole*
+        storage trie of every in-range account — storage proofs hang off the
+        account proof, so an account's storage belongs to its shard.
+        """
+        self.commit(flush_store=False)
+        slice_ = extract_shard_nodes(self._trie, shard)
+        nodes = dict(slice_.nodes)
+        for _, raw in slice_.items:
+            account = Account.decode(raw)
+            if account.storage_root != EMPTY_TRIE_ROOT:
+                nodes.update(collect_subtree(self._db, account.storage_root))
+        return nodes
+
+    def shard_slice(self, shard: ShardRange) -> "StateDB":
+        """A read view backed by *only* this shard's nodes.
+
+        Proofs for in-range keys are identical to this state's own; proofs
+        for out-of-range keys structurally cannot be produced (the walk hits
+        a missing node right below the root) — what makes a shard server
+        unable to overstep its advertised range even if it wanted to.
+        """
+        return StateDB(self.extract_shard(shard), root_hash=self.root_hash)
+
+    def shard_commitment(self, shard: ShardRange) -> bytes:
+        """This state's 32-byte commitment for one shard (probe payload)."""
+        self.commit(flush_store=False)
+        return shard_commitment(self._trie, shard)
+
+    def shard_head(self, shard: ShardRange):
+        """The masked root node committed by :meth:`shard_commitment`."""
+        self.commit(flush_store=False)
+        return shard_head(self._trie, shard)

@@ -1,7 +1,14 @@
 """Discrete-event simulated network (latency, loss, partitions, timeouts),
 plus the futures-based endpoint transport (submit, wait_any, hedged races)."""
 
-from .futures import EndpointTimeout, PendingReply, ReplyCancelled, wait_all, wait_any
+from .futures import (
+    EndpointTimeout,
+    PendingReply,
+    ReplyCancelled,
+    as_completed,
+    wait_all,
+    wait_any,
+)
 from .latency import FixedLatency, LatencyModel, PairwiseLatency, UniformLatency
 from .network import LinkStats, NetworkError, NetworkStats, SimNetwork
 from .simclock import SimClock
@@ -25,4 +32,5 @@ __all__ = [
     "PendingReply",
     "wait_any",
     "wait_all",
+    "as_completed",
 ]

@@ -25,6 +25,7 @@ __all__ = [
     "PendingReply",
     "wait_any",
     "wait_all",
+    "as_completed",
 ]
 
 #: fallback synchrony bound when a reply carries no per-endpoint timeout.
@@ -279,3 +280,26 @@ def wait_all(replies: Iterable[PendingReply],
         # just burn the whole bound before the right loop gets its turn
         driver(lambda: not all(reply.done() for reply in members), bound)
     return all(reply.done() for reply in replies)
+
+
+def as_completed(replies: Iterable[PendingReply],
+                 timeout: Optional[float] = None):
+    """Yield replies in resolution order, driving their event loop(s).
+
+    The multi-leg collection primitive: a scatter-gather caller hands over
+    the legs' futures and processes each as it lands, instead of blocking
+    head-of-line on the slowest leg.  Stops (without raising) when a full
+    ``timeout`` window passes with every remaining reply still in flight —
+    the leftovers stay pending for the caller to cancel, retry elsewhere,
+    or report as a partial failure.
+    """
+    remaining = list(replies)
+    while remaining:
+        resolved = [reply for reply in remaining if reply.done()]
+        if not resolved:
+            if wait_any(remaining, timeout=timeout) is None:
+                return
+            resolved = [reply for reply in remaining if reply.done()]
+        for reply in resolved:
+            remaining.remove(reply)
+            yield reply

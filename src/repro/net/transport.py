@@ -85,7 +85,7 @@ class SimServerBinding:
     _ALLOWED = frozenset({
         "handshake", "open_channel", "serve_request", "relay_transaction",
         "get_transaction_count", "serve_header", "serve_head_number",
-        "serve_batch", "batch_protocol_version",
+        "serve_batch", "batch_protocol_version", "shard_info",
     })
 
     def __init__(self, network: SimNetwork, name: str,
@@ -216,6 +216,9 @@ class SimEndpoint:
 
     def batch_protocol_version(self) -> int:
         return self._invoke("batch_protocol_version")
+
+    def shard_info(self):
+        return self._invoke("shard_info")
 
     def relay_transaction(self, raw_tx: bytes) -> bytes:
         return self._invoke("relay_transaction", raw_tx)

@@ -234,6 +234,30 @@ class Devnet:
                         name=name or f"fn-{key.address.hex()[:6]}")
         return cls(node, **server_kwargs)
 
+    def attach_shard_cluster(self, keys: Sequence[PrivateKey],
+                             shard_count: int, name_prefix: str = "shard",
+                             server_cls: Optional[type] = None,
+                             stake: bool = True, **server_kwargs: Any) -> list:
+        """Attach a cluster of shard servers jointly covering the state.
+
+        Server ``j`` materializes shard ``j % shard_count`` of
+        ``shard_count``, so passing ``shard_count`` keys yields exactly one
+        server per shard and ``k × shard_count`` keys yields ``k`` replicas
+        of each (the in-shard hedging/failover pool).  Names are
+        ``{prefix}{shard}-{replica}``.
+        """
+        from ..trie.shard import ShardRange
+
+        servers = []
+        for j, key in enumerate(keys):
+            shard = ShardRange.of(j % shard_count, shard_count)
+            servers.append(self.attach_server(
+                key, name=f"{name_prefix}{j % shard_count}-{j // shard_count}",
+                server_cls=server_cls, stake=stake,
+                shard_range=shard, **server_kwargs,
+            ))
+        return servers
+
     def advance_blocks(self, count: int) -> None:
         """Mine ``count`` empty blocks (to pass dispute/unbonding windows)."""
         for _ in range(count):

@@ -41,6 +41,10 @@ _EXPORTS = {
     "Marketplace": "marketplace", "MarketplaceClient": "marketplace",
     "MarketplaceError": "marketplace", "MarketplaceStats": "marketplace",
     "ServerAdvertisement": "marketplace", "HedgeAttempt": "marketplace",
+    "NoServerForKey": "marketplace", "ShardScatterError": "marketplace",
+    "ScatterOutcome": "marketplace", "ShardLeg": "marketplace",
+    # sharding
+    "shard_key_of_call": "sharding", "STATE_KEYED_METHODS": "sharding",
     # reputation
     "ReputationLedger": "reputation", "ReputationEvent": "reputation",
     "EVENT_WEIGHTS": "reputation", "EVENT_KINDS": "reputation",

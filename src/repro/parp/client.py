@@ -203,7 +203,7 @@ class LightClientSession:
                  headers: HeaderSyncer,
                  fee_schedule: FeeSchedule = DEFAULT_FEE_SCHEDULE,
                  gas_price: int = DEFAULT_GAS_PRICE,
-                 clock=None) -> None:
+                 clock=None, batch_version: Optional[int] = None) -> None:
         self.key = key
         self.endpoint = endpoint
         self.headers = headers
@@ -214,7 +214,11 @@ class LightClientSession:
         self.full_node: Optional[Address] = None
         self.history: list[RequestOutcome | BatchOutcome] = []
         self._clock = clock
-        self._batch_support: Optional[bool] = None  # memoized version probe
+        #: batch version the server *advertised* out of band (e.g. in its
+        #: marketplace listing); settles the probe early where it can —
+        #: see :meth:`_seeded_batch_support`
+        self._advertised_batch_version = batch_version
+        self._batch_support: Optional[bool] = self._seeded_batch_support()
 
     @property
     def address(self) -> Address:
@@ -242,7 +246,7 @@ class LightClientSession:
         if not 0 < budget <= MAX_AMOUNT:
             raise SessionError("budget out of range")
 
-        self._batch_support = None  # re-probe per connection
+        self._batch_support = self._seeded_batch_support()
         # line 4: fetch the latest block hash from the network
         self.headers.sync()
         # lines 5-8: HANDSHAKE, await HSCONFIRM
@@ -296,7 +300,7 @@ class LightClientSession:
         )
         self.full_node = full_node
         self.state = LightClientState.BONDED
-        self._batch_support = None  # re-probe per connection
+        self._batch_support = self._seeded_batch_support()
 
     # ------------------------------------------------------------------ #
     # The paid request path (steps (A) and (D) of Fig. 5)
@@ -473,11 +477,28 @@ class LightClientSession:
         """Probe (for free) whether the server speaks our batch version.
 
         The answer cannot change while we stay bonded to one endpoint, so
-        the network round-trip happens at most once per session.
+        the network round-trip happens at most once per session — and not
+        at all when the server advertised a foreign version out of band
+        (see :meth:`_seeded_batch_support`).
         """
         if self._batch_support is None:
             self._batch_support = self._probe_batch_support()
         return self._batch_support
+
+    def _seeded_batch_support(self) -> Optional[bool]:
+        """What the advertised version settles without a wire probe.
+
+        A claim of *incompatibility* is taken at its word — no point
+        probing a server that already declined.  A claim of compatibility
+        is still verified by the free probe on first batch: advertisements
+        can lie, and trusting one would sign a batch payment to a server
+        that may not be able to serve it.
+        """
+        if self._advertised_batch_version is None:
+            return None   # unknown: probe lazily on first batch
+        if self._advertised_batch_version == BATCH_PROTOCOL_VERSION:
+            return None   # claimed compatible: verify on first batch
+        return False
 
     def _probe_batch_support(self) -> bool:
         probe = getattr(self.endpoint, "batch_protocol_version", None)

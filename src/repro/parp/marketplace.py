@@ -15,7 +15,13 @@ free of sign-up friction; this module supplies the missing client machinery:
 * **failover**: on an invalid response, a timeout, or a batch-version
   mismatch the client records the reputation event, re-issues the identical
   query to the next-ranked server, and — when the response is provable
-  fraud — escalates through a witness to the on-chain slash flow.
+  fraud — escalates through a witness to the on-chain slash flow;
+* **sharded serving**: advertisements carry an optional
+  :class:`~repro.trie.shard.ShardRange`; selection becomes range-aware
+  (a server is only ever asked for keys inside its advertised slice) and
+  :meth:`MarketplaceClient.query_sharded` scatters a batch across shard
+  legs, hedges each leg independently, and stitches the verified
+  per-shard multiproof results back into request order.
 """
 
 from __future__ import annotations
@@ -27,6 +33,7 @@ from typing import Any, Optional, Sequence
 from ..crypto.keys import Address, PrivateKey
 from ..lightclient.sync import HeaderSyncer
 from ..net.futures import DEFAULT_TIMEOUT, wait_any
+from ..trie.shard import ShardRange
 from .client import (
     DEFAULT_GAS_PRICE,
     BatchItem,
@@ -51,6 +58,8 @@ from .fraudproof import FraudProofError
 from .messages import RpcCall
 from .pricing import FeeSchedule
 from .queries import decode_balance
+from .sharding import shard_key_of_call
+from .verification import ResponseClass, VerificationReport
 from .reputation import (
     EVENT_CHANNEL_SETTLED,
     EVENT_FRAUD_DETECTED,
@@ -65,10 +74,14 @@ from .states import LightClientState
 
 __all__ = [
     "MarketplaceError",
+    "NoServerForKey",
     "ServerAdvertisement",
     "Marketplace",
     "MarketplaceStats",
     "HedgeAttempt",
+    "ShardLeg",
+    "ScatterOutcome",
+    "ShardScatterError",
     "MarketplaceClient",
 ]
 
@@ -81,6 +94,24 @@ class MarketplaceError(Exception):
             message = f"{message}: " + "; ".join(attempts)
         super().__init__(message)
         self.attempts = tuple(attempts)
+
+
+class NoServerForKey(MarketplaceError):
+    """A state-keyed call's trie key is covered by no advertised server.
+
+    Raised *before* any payment is signed: a silent empty result would be
+    indistinguishable from a provable (and payable) "account absent"
+    answer, so a shard-coverage hole in the directory must surface as a
+    typed client-side error instead.
+    """
+
+    def __init__(self, key: bytes, method: str) -> None:
+        super().__init__(
+            f"no advertised server covers key {key.hex()[:16]}… ({method}): "
+            "the directory has a shard coverage hole"
+        )
+        self.key = key
+        self.method = method
 
 
 @dataclass(frozen=True)
@@ -97,6 +128,9 @@ class ServerAdvertisement:
     fee_schedule: FeeSchedule
     batch_version: Optional[int] = None
     name: str = ""
+    #: the slice of the hashed-key space this server materializes;
+    #: None advertises the whole state (a classic full-range server)
+    shard: Optional[ShardRange] = None
 
     @classmethod
     def for_server(cls, server: Any, name: str = "",
@@ -109,7 +143,12 @@ class ServerAdvertisement:
             fee_schedule=server.fee_schedule,
             batch_version=server.batch_protocol_version(),
             name=name or getattr(getattr(server, "node", None), "name", ""),
+            shard=getattr(server, "shard_range", None),
         )
+
+    def covers(self, hashed_key: bytes) -> bool:
+        """Whether this server's advertised slice can prove ``hashed_key``."""
+        return self.shard is None or self.shard.covers(hashed_key)
 
     @cached_property
     def reference_price(self) -> int:
@@ -155,6 +194,12 @@ class Marketplace:
     def advertisements(self) -> list[ServerAdvertisement]:
         return list(self._ads.values())
 
+    def covering(self, hashed_key: bytes) -> list[ServerAdvertisement]:
+        """Every advertisement whose shard range covers ``hashed_key``
+        (regardless of reputation — this is the *directory* view that
+        coverage checks gate on)."""
+        return [ad for ad in self._ads.values() if ad.covers(hashed_key)]
+
     def __len__(self) -> int:
         return len(self._ads)
 
@@ -175,6 +220,8 @@ class MarketplaceStats:
     hedged_queries: int = 0       # query_hedged races run
     hedge_launches: int = 0       # batches issued across all races
     hedges_cancelled: int = 0     # losing in-flight requests cancelled
+    sharded_queries: int = 0      # query_sharded scatter-gathers run
+    scatter_legs: int = 0         # shard legs across all scatters
 
 
 @dataclass
@@ -195,6 +242,67 @@ class HedgeAttempt:
 
 
 @dataclass
+class ShardLeg:
+    """One shard's slice of a scatter-gathered batch."""
+
+    index: int
+    calls: tuple[RpcCall, ...]
+    positions: tuple[int, ...]    # where each call sits in the original batch
+    keys: tuple[bytes, ...]       # hashed state keys routed to this leg
+    outcome: Optional[BatchOutcome] = None
+    winner: Optional[Address] = None
+    error: str = ""
+    cost: int = 0                 # channel-budget increment this leg consumed
+    attempts: int = 0             # launches (hedges + failovers) it took
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome is not None
+
+
+@dataclass(frozen=True)
+class ScatterOutcome:
+    """A scatter-gathered batch stitched back into request order.
+
+    Every item came out of a §V-D-verified per-shard multiproof (each
+    shard's slice proves against the *global* root, so the checks are the
+    single-node ones, unchanged).  Unlike :class:`BatchOutcome`,
+    ``amount_paid`` is a **sum of increments** across the winning legs —
+    the legs pay on different servers' channels, so there is no single
+    cumulative channel amount to report.
+    """
+
+    items: tuple[BatchItem, ...]
+    report: VerificationReport
+    amount_paid: int
+    legs: tuple[ShardLeg, ...]
+    batched: bool = True
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class ShardScatterError(MarketplaceError):
+    """Some scatter legs failed after exhausting their shard's servers.
+
+    A partial failure is *typed*, never a silent partial result: winner
+    legs' payments were already acked when their responses verified, and
+    ``legs`` keeps the full per-shard picture (``failed_legs`` for just
+    the casualties) so the caller can salvage what landed or retry the
+    missing shards alone.
+    """
+
+    def __init__(self, message: str, legs: Sequence[ShardLeg],
+                 attempts: Sequence[str] = ()) -> None:
+        super().__init__(message, attempts)
+        self.legs = tuple(legs)
+
+    @property
+    def failed_legs(self) -> tuple[ShardLeg, ...]:
+        return tuple(leg for leg in self.legs if not leg.ok)
+
+
+@dataclass
 class _HedgeEntry:
     """Internal per-leg race state."""
 
@@ -203,6 +311,18 @@ class _HedgeEntry:
     pending: "PendingBatch | PendingRequest"
     deadline: Optional[float]     # sim-clock instant; None for in-process
     attempt: HedgeAttempt
+    cost: int = 0                 # what issuing this leg added to its channel
+
+
+@dataclass
+class _LegRace:
+    """Internal per-shard scatter state (one hedged race per leg)."""
+
+    leg: ShardLeg
+    tip: int = 0
+    tried: set[Address] = field(default_factory=set)
+    skipped: set[Address] = field(default_factory=set)
+    active: list[_HedgeEntry] = field(default_factory=list)
 
 
 #: consecutive transport timeouts before a server is demoted to last resort.
@@ -246,6 +366,8 @@ class MarketplaceClient:
         self.stats = MarketplaceStats()
         #: per-leg record of the most recent hedged race (diagnostics/tests)
         self.last_hedge: list[HedgeAttempt] = []
+        #: the most recent scatter-gather result (diagnostics/tests)
+        self.last_scatter: Optional[ScatterOutcome] = None
         self._headers = headers
         self._clock = clock
         self._ticks = 0.0
@@ -308,13 +430,17 @@ class MarketplaceClient:
         cheapest = min(max(1, a.reference_price) for a in ads)
         return self.trust(ad.address, now) * (cheapest / max(1, ad.reference_price))
 
-    def eligible(self, now: Optional[float] = None) -> list[ServerAdvertisement]:
+    def eligible(self, now: Optional[float] = None,
+                 keys: Sequence[bytes] = ()) -> list[ServerAdvertisement]:
         """Advertisements ranked best-first by the combined score.
 
         Eligibility gates on *trust alone* — banned servers and those whose
         reputation score fell below ``selection_threshold`` are dropped; the
         price factor then only decides the order among trusted servers (a
-        bargain price must never buy back a burned reputation).
+        bargain price must never buy back a burned reputation).  When
+        ``keys`` is given, only servers whose advertised shard range covers
+        *every* key qualify — a shard server is never even a candidate for
+        keys outside its slice.
         """
         if now is None:
             now = self._now()
@@ -323,6 +449,8 @@ class MarketplaceClient:
         keep = []
         for ad in ads:
             if self.reputation.is_banned(ad.address, now):
+                continue
+            if keys and not all(ad.covers(key) for key in keys):
                 continue
             trust = self.trust(ad.address, now)
             if trust < self.selection_threshold:
@@ -377,7 +505,7 @@ class MarketplaceClient:
         session = LightClientSession(
             self.key, ad.endpoint, self.headers,
             fee_schedule=ad.fee_schedule, gas_price=self.gas_price,
-            clock=self._clock,
+            clock=self._clock, batch_version=ad.batch_version,
         )
         session.connect(budget=self.budget)
         self.sessions[ad.address] = session
@@ -415,14 +543,22 @@ class MarketplaceClient:
         return self.request_call(call, tip=tip)
 
     def request_call(self, call: RpcCall, tip: int = 0) -> RequestOutcome:
+        keys = self._require_coverage((call,))
         return self._serve(lambda s: s.request_call(call, tip=tip),
-                           describe=call.method)
+                           describe=call.method, keys=keys)
 
     def query_batch(self, calls: Sequence[RpcCall], tip: int = 0) -> BatchOutcome:
-        """A batched query, routed to batch-speaking servers first."""
+        """A batched query, routed to batch-speaking servers first.
+
+        The whole batch goes to *one* server, so every state-keyed call
+        must fall inside a single server's advertised range; a batch that
+        spans shards needs :meth:`query_sharded` instead.
+        """
         calls = tuple(calls)
+        keys = self._require_coverage(calls)
         return self._serve(lambda s: s.query_batch(calls, tip=tip),
-                           describe=f"batch[{len(calls)}]", want_batch=True)
+                           describe=f"batch[{len(calls)}]", want_batch=True,
+                           keys=keys)
 
     # ------------------------------------------------------------------ #
     # Hedged fan-out: the failover race
@@ -455,6 +591,7 @@ class MarketplaceClient:
         if not calls:
             raise MarketplaceError("a hedged query needs at least one call")
         fanout = max(1, int(fanout))
+        keys = self._require_coverage(calls)
         describe = f"hedged batch[{len(calls)}]×{fanout}"
         tried: set[Address] = set()
         #: non-batch-speaking servers passed over while picking race legs —
@@ -465,14 +602,16 @@ class MarketplaceClient:
         self.last_hedge = []
 
         for _ in range(fanout):
-            self._hedge_launch(calls, tip, tried, skipped, attempts, active)
+            self._hedge_launch(calls, tip, tried, skipped, attempts, active,
+                               keys=keys)
         if not active:
             # nobody could even be issued to (commonly: no batch speakers) —
             # the serial path still knows how to degrade per key, excluding
             # the servers the launch attempts already burned
             return self._serve(lambda s: s.query_batch(calls, tip=tip),
                                describe=f"batch[{len(calls)}]",
-                               want_batch=True, exclude=tried - skipped)
+                               want_batch=True, exclude=tried - skipped,
+                               keys=keys)
         self.stats.hedged_queries += 1
 
         while active:
@@ -493,7 +632,7 @@ class MarketplaceClient:
                         self._hedge_win(entry, active)
                         return outcome
                     self._hedge_launch(calls, tip, tried, skipped, attempts,
-                                       active)
+                                       active, keys=keys)
                 elif expired or stalled:
                     # the synchrony bound passed with the reply still in
                     # flight: cancel the leg and collect it, so the shared
@@ -511,7 +650,7 @@ class MarketplaceClient:
                         self._hedge_win(entry, active)
                         return outcome
                     self._hedge_launch(calls, tip, tried, skipped, attempts,
-                                       active)
+                                       active, keys=keys)
         if skipped:
             # every batch speaker failed, but servers without batch support
             # were never given a chance — degrade to the serial per-key path
@@ -519,19 +658,221 @@ class MarketplaceClient:
             # query an eligible server could answer
             return self._serve(lambda s: s.query_batch(calls, tip=tip),
                                describe=f"batch[{len(calls)}]",
-                               want_batch=True, exclude=tried - skipped)
+                               want_batch=True, exclude=tried - skipped,
+                               keys=keys)
         raise MarketplaceError(f"{describe}: every eligible server failed",
                                attempts)
 
+    # ------------------------------------------------------------------ #
+    # Sharded scatter-gather
+    # ------------------------------------------------------------------ #
+
+    def query_sharded(self, calls: Sequence[RpcCall], fanout: int = 1,
+                      tip: int = 0) -> ScatterOutcome:
+        """Scatter a batch across shard legs, gather verified multiproofs.
+
+        The batch is split by the directory's shard map: each state-keyed
+        call joins the leg of the shard covering its hashed key (unsharded
+        calls — any serving node answers those — ride with the first leg).
+        Every leg is an independent hedged race among the servers of *its*
+        shard: ``fanout`` concurrent paid requests per leg, losers
+        cancelled the moment a leg's first response verifies, failures
+        replaced in-shard, with the serial failover path as last resort.
+        Legs resolve in completion order (no head-of-line blocking on the
+        slowest shard), and the per-shard results — each one a §V-D
+        verified multiproof against the *global* state root — are stitched
+        back into request order.
+
+        A shard server is never asked for (and could not prove) keys
+        outside its slice; a leg whose shard has no live server left ends
+        the query with :class:`ShardScatterError` after the other legs'
+        winners were paid.  A directory with no shard servers degenerates
+        to one leg — the plain hedged wire path.
+        """
+        calls = tuple(calls)
+        if not calls:
+            raise MarketplaceError("a sharded query needs at least one call")
+        fanout = max(1, int(fanout))
+        legs = self._split_by_shard(calls)
+        self.stats.sharded_queries += 1
+        self.stats.scatter_legs += len(legs)
+        attempts: list[str] = []
+        self.last_hedge = []
+        races: list[_LegRace] = []
+        for leg in legs:
+            # the tip (priority fee) rides on the first leg only: one scatter
+            # is one query, not len(legs) separately-tipped ones
+            race = _LegRace(leg=leg, tip=tip if leg.index == 0 else 0)
+            races.append(race)
+            for _ in range(fanout):
+                if self._hedge_launch(leg.calls, race.tip, race.tried,
+                                      race.skipped, attempts, race.active,
+                                      keys=leg.keys) is None:
+                    break
+            leg.attempts = len(race.active)
+            if not race.active:
+                self._leg_fallback(race, attempts)
+
+        while True:
+            active_all = [e for race in races for e in race.active]
+            if not active_all:
+                break
+            self._hedge_wait(active_all)
+            clock = self._hedge_clock(active_all)
+            now = clock.now() if clock is not None else None
+            stalled = (now is None
+                       and not any(e.pending.reply.done() for e in active_all))
+            for race in races:
+                for entry in list(race.active):
+                    if entry not in race.active:
+                        continue   # cancelled as a loser when its leg won
+                    expired = (now is not None and entry.deadline is not None
+                               and now >= entry.deadline)
+                    if not entry.pending.reply.done() and not (expired
+                                                               or stalled):
+                        continue
+                    race.active.remove(entry)
+                    if not entry.pending.reply.done():
+                        entry.pending.cancel()
+                    outcome = self._hedge_collect(entry, attempts)
+                    if outcome is not None:
+                        race.leg.outcome = outcome
+                        race.leg.winner = entry.ad.address
+                        race.leg.cost = entry.cost
+                        # only this leg's losers are cancelled: the other
+                        # legs' races are independent correlations
+                        self._hedge_win(entry, race.active)
+                        race.active.clear()
+                    else:
+                        replacement = self._hedge_launch(
+                            race.leg.calls, race.tip, race.tried,
+                            race.skipped, attempts, race.active,
+                            keys=race.leg.keys)
+                        if replacement is not None:
+                            race.leg.attempts += 1
+                        elif not race.active:
+                            self._leg_fallback(race, attempts)
+
+        failed = [race.leg for race in races if not race.leg.ok]
+        if failed:
+            # winners' payments were acked when their responses verified;
+            # only the missing shards are reported, never silently dropped
+            raise ShardScatterError(
+                f"sharded batch[{len(calls)}]: {len(failed)} of "
+                f"{len(races)} shard legs failed",
+                [race.leg for race in races], attempts)
+
+        items: list[Optional[BatchItem]] = [None] * len(calls)
+        total = 0
+        for race in races:
+            leg = race.leg
+            total += leg.cost
+            for pos, item in zip(leg.positions, leg.outcome.items):
+                items[pos] = item
+        outcome = ScatterOutcome(
+            items=tuple(items),
+            # every winning leg verified VALID — a losing classification
+            # never leaves _hedge_collect — so the stitched result is too
+            report=VerificationReport(ResponseClass.VALID, "all-checks"),
+            amount_paid=total,
+            legs=tuple(race.leg for race in races),
+        )
+        self.last_scatter = outcome
+        return outcome
+
+    def _split_by_shard(self, calls: tuple[RpcCall, ...]) -> list[ShardLeg]:
+        """Partition a batch into per-shard legs.
+
+        Grouping follows the *directory*: each state-keyed call joins the
+        shard range of the best-ranked advertisement covering its key (a
+        full-range server groups the keys it wins into one leg), so every
+        leg is answerable by a single server.  Unsharded calls ride with
+        the first leg.  Raises :class:`NoServerForKey` when some key is
+        covered by no advertised server at all.
+        """
+        ranked = self.eligible()
+        groups: dict[tuple, list[int]] = {}
+        keys_of: dict[tuple, list[bytes]] = {}
+        unsharded: list[int] = []
+        for i, call in enumerate(calls):
+            key = shard_key_of_call(call)
+            if key is None:
+                unsharded.append(i)
+                continue
+            covering = [ad for ad in ranked if ad.covers(key)]
+            if not covering:
+                # no *eligible* server, but an advertised one may still
+                # exist — group under its range and let the leg's race
+                # surface the failure with full context
+                covering = self.marketplace.covering(key)
+            if not covering:
+                raise NoServerForKey(key, call.method)
+            shard = covering[0].shard
+            gkey = ("full",) if shard is None else ("shard", shard.to_tuple())
+            groups.setdefault(gkey, []).append(i)
+            keys_of.setdefault(gkey, []).append(key)
+        if not groups:
+            groups[("full",)] = []
+            keys_of[("full",)] = []
+        ordered = list(groups)
+        first = ordered[0]
+        groups[first].extend(unsharded)
+        groups[first].sort()
+        legs = []
+        for index, gkey in enumerate(ordered):
+            positions = tuple(groups[gkey])
+            legs.append(ShardLeg(
+                index=index,
+                calls=tuple(calls[p] for p in positions),
+                positions=positions,
+                keys=tuple(keys_of[gkey]),
+            ))
+        return legs
+
+    def _leg_fallback(self, race: _LegRace, attempts: list[str]) -> None:
+        """Serve one leg via the serial failover path (no hedge could even
+        be launched — typically every candidate's connect failed)."""
+        leg = race.leg
+
+        def issue(session: LightClientSession) -> BatchOutcome:
+            spent_before = session.channel.spent if session.channel else 0
+            outcome = session.query_batch(leg.calls, tip=race.tip)
+            leg.cost = outcome.amount_paid - spent_before
+            leg.winner = session.full_node
+            return outcome
+
+        leg.attempts += 1
+        try:
+            leg.outcome = self._serve(
+                issue, describe=f"shard leg[{leg.index}]", want_batch=True,
+                exclude=race.tried - race.skipped, keys=leg.keys)
+        except MarketplaceError as exc:
+            leg.error = str(exc)
+
+    def _require_coverage(self, calls: Sequence[RpcCall]) -> tuple[bytes, ...]:
+        """The hashed keys routing ``calls``, with the coverage gate: a key
+        no advertised server covers raises :class:`NoServerForKey` *before*
+        any payment is signed."""
+        keys = []
+        for call in calls:
+            key = shard_key_of_call(call)
+            if key is None:
+                continue
+            if not self.marketplace.covering(key):
+                raise NoServerForKey(key, call.method)
+            keys.append(key)
+        return tuple(keys)
+
     def _hedge_launch(self, calls: tuple[RpcCall, ...], tip: int,
                       tried: set[Address], skipped: set[Address],
-                      attempts: list[str],
-                      active: list[_HedgeEntry]) -> bool:
+                      attempts: list[str], active: list[_HedgeEntry],
+                      keys: Sequence[bytes] = ()) -> Optional[_HedgeEntry]:
         """Add the next-ranked batch-speaking server to the race."""
         while True:
-            ranked = [ad for ad in self.eligible() if ad.address not in tried]
+            ranked = [ad for ad in self.eligible(keys=keys)
+                      if ad.address not in tried]
             if not ranked:
-                return False
+                return None
             ad = ranked[0]
             tried.add(ad.address)
             try:
@@ -556,6 +897,7 @@ class MarketplaceClient:
                 attempts.append(f"{ad.label}: no batch support")
                 skipped.add(ad.address)
                 continue
+            spent_before = session.channel.spent if session.channel else 0
             try:
                 pending = (session.begin_request(calls[0], tip=tip) if single
                            else session.begin_batch(calls, tip=tip))
@@ -568,11 +910,13 @@ class MarketplaceClient:
                                    pending=pending)
             self.last_hedge.append(attempt)
             self.stats.hedge_launches += 1
-            active.append(_HedgeEntry(
+            entry = _HedgeEntry(
                 ad=ad, session=session, pending=pending,
                 deadline=self._hedge_deadline(session), attempt=attempt,
-            ))
-            return True
+                cost=pending.request.a - spent_before,
+            )
+            active.append(entry)
+            return entry
 
     def _hedge_deadline(self, session: LightClientSession) -> Optional[float]:
         """When this leg's synchrony bound expires (None for in-process
@@ -661,15 +1005,19 @@ class MarketplaceClient:
         self.stats.queries += 1
 
     def _serve(self, issue, describe: str, want_batch: bool = False,
-               exclude: Optional[set[Address]] = None):
+               exclude: Optional[set[Address]] = None,
+               keys: Sequence[bytes] = ()):
         tried: set[Address] = set(exclude or ())
         attempts: list[str] = []
         while True:
-            ad = self._next_candidate(tried, want_batch)
+            ad = self._next_candidate(tried, want_batch, keys=keys)
             if ad is None:
-                raise MarketplaceError(
-                    f"{describe}: every eligible server failed", attempts,
-                )
+                detail = f"{describe}: every eligible server failed"
+                if keys and not attempts and not tried:
+                    detail = (f"{describe}: no single eligible server covers "
+                              f"all {len(keys)} state keys — scatter the "
+                              "batch via query_sharded")
+                raise MarketplaceError(detail, attempts)
             tried.add(ad.address)
             try:
                 session = self._session_for(ad)
@@ -720,9 +1068,11 @@ class MarketplaceClient:
         # budget is exhausted) — not the server's fault, no reputation event
         return "session-error", f"{ad.label}: session: {exc}"
 
-    def _next_candidate(self, tried: set[Address],
-                        want_batch: bool) -> Optional[ServerAdvertisement]:
-        ranked = [ad for ad in self.eligible() if ad.address not in tried]
+    def _next_candidate(self, tried: set[Address], want_batch: bool,
+                        keys: Sequence[bytes] = (),
+                        ) -> Optional[ServerAdvertisement]:
+        ranked = [ad for ad in self.eligible(keys=keys)
+                  if ad.address not in tried]
         if not ranked:
             return None
         if want_batch:

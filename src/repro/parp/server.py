@@ -29,6 +29,7 @@ from ..crypto.keys import Address, PrivateKey
 from ..metrics.cache import LRUCache
 from ..node.fullnode import FullNode
 from ..rlp import codec as rlp
+from ..trie.shard import ShardRange
 from .channel import ChannelError, ServerChannel
 from .constants import BATCH_PROTOCOL_VERSION, DEFAULT_HANDSHAKE_EXPIRY_SECONDS
 from .handshake import Handshake, HandshakeConfirm, OpenChannelReceipt
@@ -43,6 +44,7 @@ from .messages import (
 )
 from .pricing import DEFAULT_FEE_SCHEDULE, FeeSchedule
 from .queries import QueryError, execute_query
+from .sharding import shard_key_of_call
 
 __all__ = ["ServeError", "ServerStats", "FullNodeServer"]
 
@@ -96,6 +98,30 @@ class _SnapshotViewBackend:
         return getattr(self._node, name)
 
 
+class _ShardSliceBackend(_SnapshotViewBackend):
+    """Per-height read views backed by *only* this shard's trie slice.
+
+    A shard server follows the full chain (headers, blocks, receipts — the
+    delegated attributes) but materializes just its slice of each height's
+    state: the account-trie spine plus the subtrees and storage tries of
+    in-range accounts.  In-range proofs come out bit-for-bit identical to a
+    full node's (they verify against the global ``state_root``); proofs for
+    anything else are structurally impossible — the slice is missing the
+    nodes — so range enforcement is physics, not policy.
+    """
+
+    def __init__(self, node: FullNode, shard: ShardRange,
+                 capacity: int = 16) -> None:
+        super().__init__(node, capacity=capacity)
+        self._shard = shard
+
+    def state_at(self, number: int):
+        return self._views.get_or_put(
+            number,
+            lambda: self._node.state_at(number).shard_slice(self._shard),
+        )
+
+
 @dataclass
 class ServerStats:
     """Serving counters (feeds Fig. 7 and the Proof-of-Serving extension)."""
@@ -106,6 +132,7 @@ class ServerStats:
     requests_rejected: int = 0
     batches_served: int = 0
     batch_queries_served: int = 0
+    out_of_range_rejected: int = 0   # state-keyed calls outside the shard
     bytes_in: int = 0
     bytes_out: int = 0
     fees_earned: int = 0
@@ -118,16 +145,24 @@ class FullNodeServer:
                  fee_schedule: FeeSchedule = DEFAULT_FEE_SCHEDULE,
                  handshake_expiry: float = DEFAULT_HANDSHAKE_EXPIRY_SECONDS,
                  proof_cache_size: int = 2048,
-                 clock=None) -> None:
+                 clock=None,
+                 shard_range: Optional[ShardRange] = None) -> None:
         self.node = node
         self.key = node.key
         self.fee_schedule = fee_schedule
         self.handshake_expiry = handshake_expiry
+        #: the slice of the account space this server materializes and
+        #: advertises; None (or the full range) means a whole-state server
+        self.shard_range = (None if shard_range is not None
+                            and shard_range.is_full else shard_range)
         self.channels: dict[bytes, ServerChannel] = {}
         self.stats = ServerStats()
         #: memoized per-height state views: batch items and concurrent
         #: sessions pinned to the same snapshot share one warm StateDB.
-        self._backend = _SnapshotViewBackend(node)
+        #: Shard servers substitute slice-backed views — same interface,
+        #: physically incapable of proving out-of-range keys.
+        self._backend = (_SnapshotViewBackend(node) if self.shard_range is None
+                         else _ShardSliceBackend(node, self.shard_range))
         #: recent (result, proof) pairs keyed by (height, call): a dApp
         #: re-reading hot keys between blocks skips the trie walk entirely.
         self.proof_cache: LRUCache = LRUCache(capacity=proof_cache_size)
@@ -330,6 +365,12 @@ class FullNodeServer:
             return self._error_response(
                 request, f"unknown reference block {request.h_b.hex()[:16]}"
             )
+        violation = self._range_violation(call)
+        if violation is not None:
+            # a *signed* error: the shard server attributably declines keys
+            # outside its advertised range instead of letting the slice walk
+            # blow up into an unsigned transport failure
+            return self._error_response(request, violation)
         if call.method == "parp_channelStatus":
             result, proof = self._channel_status(call)
         else:
@@ -384,6 +425,32 @@ class FullNodeServer:
     # ------------------------------------------------------------------ #
     # Batched serving (multiproof extension)
     # ------------------------------------------------------------------ #
+
+    def _range_violation(self, call: RpcCall) -> Optional[str]:
+        """Why a state-keyed call falls outside this shard, or None."""
+        if self.shard_range is None:
+            return None
+        key = shard_key_of_call(call)
+        if key is None or self.shard_range.covers(key):
+            return None
+        self._bump("out_of_range_rejected")
+        return (f"key {key.hex()[:16]}… is outside this server's shard "
+                f"{self.shard_range.label}")
+
+    def shard_info(self) -> Optional[tuple[int, int, bytes, int]]:
+        """Free probe: ``(lo, hi, shard commitment, height)`` or None.
+
+        The commitment is the masked-root hash of
+        :func:`repro.trie.shard.shard_commitment` at the current head — two
+        honest servers of one shard must agree on it, and any full node can
+        recompute it for auditing; a whole-state server returns None.
+        """
+        if self.shard_range is None:
+            return None
+        head = self.node.head_number()
+        state = self._backend.state_at(head)
+        return (self.shard_range.lo, self.shard_range.hi,
+                state.shard_commitment(self.shard_range), head)
 
     def batch_protocol_version(self) -> int:
         """Free capability probe: the batch sub-protocol this server speaks.
@@ -480,6 +547,9 @@ class FullNodeServer:
         if call.method in _NOT_BATCHABLE:
             return (ResponseStatus.ERROR,
                     _error_result(f"{call.method} is not batchable"), [])
+        violation = self._range_violation(call)
+        if violation is not None:
+            return ResponseStatus.ERROR, _error_result(violation), []
         if call.method == "parp_channelStatus":
             result, proof = self._channel_status(call)
             return ResponseStatus.OK, result, proof

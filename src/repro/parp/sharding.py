@@ -1,0 +1,45 @@
+"""Routing PARP queries to state shards.
+
+Which shard serves a call is decided by the *secure-trie key* its proof
+walks: ``keccak256(address)`` for the state-keyed methods.  Everything else
+(transaction/receipt lookups, ``eth_sendRawTransaction``, the free probes)
+is unsharded — only the state trie is partitioned; every serving node
+follows the full chain, so any shard server answers those.
+
+One function, shared by client-side scatter routing, server-side range
+enforcement, and the directory's coverage checks, so the three views can
+never disagree about where a key lives (the shard-partitioner property
+tests pin this).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..crypto.keccak import keccak256
+from .messages import MessageError, RpcCall
+
+__all__ = ["STATE_KEYED_METHODS", "shard_key_of_call"]
+
+#: method → index of the address parameter whose hashed key routes the call.
+STATE_KEYED_METHODS: dict[str, int] = {
+    "eth_getBalance": 0,
+    "eth_getStorageAt": 0,
+}
+
+
+def shard_key_of_call(call: RpcCall) -> Optional[bytes]:
+    """The hashed state key that routes ``call``, or None when unsharded.
+
+    A malformed address parameter also yields None: routing must not
+    pre-judge a call the serving/verification layers will reject with a
+    properly attributable error.
+    """
+    index = STATE_KEYED_METHODS.get(call.method)
+    if index is None:
+        return None
+    try:
+        raw = call.param_bytes(index, exact=20)
+    except MessageError:
+        return None
+    return keccak256(raw)

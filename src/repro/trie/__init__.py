@@ -16,10 +16,30 @@ from .proof import (
     verify_proof,
 )
 from .reference import NaiveMerklePatriciaTrie
+from .shard import (
+    ShardError,
+    ShardRange,
+    ShardSlice,
+    collect_subtree,
+    combine_shard_heads,
+    extract_shard_nodes,
+    shard_commitment,
+    shard_head,
+    shard_of_key,
+)
 
 __all__ = [
     "MerklePatriciaTrie",
     "NaiveMerklePatriciaTrie",
+    "ShardError",
+    "ShardRange",
+    "ShardSlice",
+    "shard_of_key",
+    "extract_shard_nodes",
+    "collect_subtree",
+    "shard_head",
+    "shard_commitment",
+    "combine_shard_heads",
     "DEFAULT_NODE_CACHE_CAPACITY",
     "EMPTY_TRIE_ROOT",
     "TrieError",

@@ -19,6 +19,7 @@ from repro.net import (
     SimNetwork,
     SimServerBinding,
     UniformLatency,
+    as_completed,
 )
 from repro.parp.server import ServeError
 
@@ -109,5 +110,87 @@ def test_replies_resolve_exactly_once_and_never_cross(
     # the exactly-once invariant: every reply resolved one single time
     assert resolutions == Counter({i: 1 for i in range(len(issued))})
     # and no correlation leaked: nothing is left pending on any endpoint
+    for endpoint in endpoints:
+        assert endpoint.in_flight == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 2 ** 16),
+    drop_rate=st.sampled_from([0.0, 0.0, 0.3]),
+    legs=st.lists(
+        st.lists(st.sampled_from(("echo", "remote-bug")),
+                 min_size=1, max_size=3),
+        min_size=2, max_size=4,
+    ),
+)
+def test_multi_leg_collect_pays_each_leg_exactly_once(seed, drop_rate, legs):
+    """The scatter-gather collection pattern over raw futures.
+
+    Each leg races several candidate servers; ``as_completed`` hands replies
+    back in resolution order, the first OK reply of a leg wins (one "payment
+    ack"), and the leg's losers are cancelled on the spot.  Invariants:
+
+    * at most one payment per leg, and (lossless) exactly one per leg that
+      has any honest candidate;
+    * a winner's value correlates with its own leg+candidate — cancelling
+      siblings never leaks a reply across legs;
+    * every reply a loser's server still sends lands as ``late_replies``,
+      never resolving a cancelled future;
+    * every future resolves exactly once and nothing stays in flight.
+    """
+    net = SimNetwork(latency=UniformLatency(0.005, 0.25, seed=seed),
+                     drop_rate=drop_rate, seed=seed)
+    entries = {}   # reply → (leg index, candidate index)
+    endpoints = []
+    resolutions: Counter[tuple] = Counter()
+    for i, kinds in enumerate(legs):
+        for c, kind in enumerate(kinds):
+            SimServerBinding(net, f"srv-{i}-{c}", EchoServer(f"srv-{i}-{c}"))
+            endpoint = SimEndpoint(net, f"lc-{i}-{c}", f"srv-{i}-{c}",
+                                   Address.zero(), timeout=5.0)
+            endpoints.append(endpoint)
+            if kind == "echo":
+                reply = endpoint.submit("serve_header", (i, c))
+            else:
+                reply = endpoint.submit("serve_head_number")
+            reply.add_done_callback(
+                lambda r, key=(i, c): resolutions.update([key]))
+            entries[reply] = (i, c)
+
+    winners: dict[int, object] = {}
+    payments = Counter()
+    cancelled_in_flight = 0
+    for reply in as_completed(list(entries)):
+        i, c = entries[reply]
+        if i in winners or not reply.ok:
+            continue   # a loser that landed before (or without) cancellation
+        winners[i] = reply
+        payments[i] += 1
+        for other, (oi, _) in entries.items():
+            if oi == i and other is not reply and not other.done():
+                if other.cancel():
+                    cancelled_in_flight += 1
+
+    net.run()   # drain the losers' replies still crossing the wire
+    for reply in entries:
+        if not reply.done():      # an entirely-dropped straggler
+            assert reply.cancel() is True
+
+    for i, reply in winners.items():
+        i_, c = entries[reply]
+        assert i_ == i and payments[i] == 1
+        assert reply.result() == (f"srv-{i}-{c}", (i, c))
+    assert all(count <= 1 for count in payments.values())
+    if drop_rate == 0.0:
+        # lossless: every leg with an honest candidate pays exactly once,
+        # and every cancelled loser's reply came home late (counted, dropped)
+        for i, kinds in enumerate(legs):
+            assert payments[i] == (1 if "echo" in kinds else 0)
+        assert sum(e.late_replies for e in endpoints) == cancelled_in_flight
+    else:
+        assert sum(e.late_replies for e in endpoints) <= cancelled_in_flight
+
+    assert resolutions == Counter({key: 1 for key in entries.values()})
     for endpoint in endpoints:
         assert endpoint.in_flight == 0
