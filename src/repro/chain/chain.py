@@ -15,11 +15,13 @@ depend on :mod:`repro.vm`; :mod:`repro.node.devnet` wires them together.
 
 from __future__ import annotations
 
+import os
 import time as _time
 from typing import Callable, Optional, Protocol, Union
 
 from ..crypto.keys import Address
-from ..storage.nodestore import NodeStore, as_node_store
+from ..storage.blocklog import BlockLog
+from ..storage.nodestore import MemoryNodeStore, NodeStore, as_node_store
 from ..trie.mpt import EMPTY_TRIE_ROOT
 from .block import Block, build_receipt_trie, build_transaction_trie
 from .genesis import GenesisConfig, make_genesis_block
@@ -53,35 +55,123 @@ class Blockchain:
     def __init__(self, genesis: GenesisConfig,
                  executor: Optional[TransactionExecutorProtocol] = None,
                  block_context_factory: Optional[Callable] = None,
-                 db: Union[None, dict, NodeStore, str] = None) -> None:
+                 db: Union[None, dict, NodeStore, str] = None,
+                 block_log: Union[None, BlockLog, str, os.PathLike] = None) -> None:
         self.config = genesis
         #: the node store every state trie (and historical view) reads
         #: through — in-memory by default, disk-backed when the operator
         #: passes an AppendOnlyFileStore / path (``--state-dir``).
         self.db: NodeStore = as_node_store(db)
-        if self.db.last_root != EMPTY_TRIE_ROOT:
-            # The chain's history (blocks/receipts) is not persisted, so a
-            # populated store cannot be replayed into — it can only be
-            # reattached read-side.  Refusing keeps store.last_root (the
-            # crash-recovery reattachment point) exactly where the previous
-            # run committed it.
+        #: the sibling chain-metadata log (headers/bodies/receipts).  When
+        #: present, every sealed block lands in it right after the state
+        #: commit, and a populated pair reattaches instead of refusing.
+        owns_log = block_log is not None and not isinstance(block_log, BlockLog)
+        try:
+            self.block_log: Optional[BlockLog] = (
+                BlockLog(block_log) if owns_log else block_log
+            )
+        except Exception:
             if self.db is not db:
                 self.db.close()  # we opened/wrapped it; don't leak the handle
-            raise ChainError(
-                "node store already contains committed state (last root "
-                f"{self.db.last_root.hex()[:16]}…); chain replay from a "
-                "persistent store is not yet supported — reattach with "
-                "StateDB(store, store.last_root)"
-            )
-        self.state = StateDB(self.db)
-        genesis_block = make_genesis_block(genesis, self.state)
-        self._blocks: list[Block] = [genesis_block]
-        self._blocks_by_hash: dict[bytes, Block] = {genesis_block.hash: genesis_block}
-        self._tx_index: dict[bytes, tuple[int, int]] = {}
-        self._receipts_by_tx: dict[bytes, Receipt] = {}
+            raise
+        #: True when this instance resumed from persisted history rather
+        #: than sealing a fresh genesis.
+        self.reattached = False
+        try:
+            self._open_chain()
+        except Exception:
+            # mirror the node-store leak guard: close every handle this
+            # constructor opened (and only those) before re-raising
+            if self.db is not db:
+                self.db.close()
+            if owns_log and self.block_log is not None:
+                self.block_log.close()
+            raise
         self.mempool: list[Transaction] = []
         self.executor = executor
         self._block_context_factory = block_context_factory
+
+    def _open_chain(self) -> None:
+        """Seal a fresh genesis, or reattach over persisted history."""
+        self._blocks: list[Block] = []
+        self._blocks_by_hash: dict[bytes, Block] = {}
+        self._tx_index: dict[bytes, tuple[int, int]] = {}
+        self._receipts_by_tx: dict[bytes, Receipt] = {}
+        if self.block_log is not None and self.block_log.blocks:
+            self._reattach(list(self.block_log.blocks))
+            return
+        if self.db.last_root != EMPTY_TRIE_ROOT:
+            # A populated store with no block history cannot be replayed
+            # into — refusing keeps store.last_root (the crash-recovery
+            # reattachment point) exactly where the previous run committed
+            # it.  Restarting *with* history is the reattach path above.
+            raise ChainError(
+                "node store already contains committed state (last root "
+                f"{self.db.last_root.hex()[:16]}…) but no block log was "
+                "provided; chain replay from a bare store is not supported "
+                "— reopen with the sibling blocks.log (--state-dir), or "
+                "reattach read-side with StateDB(store, store.last_root)"
+            )
+        self.state = StateDB(self.db)
+        genesis_block = make_genesis_block(self.config, self.state)
+        if self.block_log is not None:
+            # Persist genesis like any sealed block — state first (one
+            # durable batch), then the log record — so the invariant "every
+            # logged block's state root is resolvable" holds from block 0.
+            self.state.commit()
+            self.block_log.append(genesis_block)
+        self._index_block(genesis_block)
+
+    def _reattach(self, blocks: list[Block]) -> None:
+        """Resume over recovered history: rebuild indexes, reopen the head.
+
+        The recovered chain must be *ours* (its genesis must hash-match
+        what this config would seal) and its head state must be resolvable
+        in the node store.  The write path fsyncs the state batch before
+        the block record, so the store can never durably trail the log —
+        but an operator restoring ``nodes.log`` from an older copy can
+        produce exactly that, so the unresolvable tail is rewound instead
+        of served as unprovable history.
+        """
+        expected = make_genesis_block(self.config, StateDB(MemoryNodeStore()))
+        if blocks[0].hash != expected.hash:
+            raise ChainError(
+                f"persisted chain starts at {blocks[0].hash.hex()[:16]}… but "
+                f"this genesis config seals {expected.hash.hex()[:16]}…; the "
+                "state dir belongs to a different chain"
+            )
+        dropped = 0
+        while blocks and not self._root_resolvable(blocks[-1].header.state_root):
+            blocks.pop()
+            dropped += 1
+        if not blocks:
+            raise ChainError(
+                "node store cannot resolve the state root of any logged "
+                "block; nodes.log and blocks.log are from different runs"
+            )
+        if dropped:
+            self.block_log.rewind(dropped)
+        self.state = StateDB(self.db, blocks[-1].header.state_root)
+        for block in blocks:
+            self._index_block(block)
+        self.reattached = True
+
+    def _root_resolvable(self, root: bytes) -> bool:
+        return root == EMPTY_TRIE_ROOT or self.db.get(root) is not None
+
+    def _index_block(self, block: Block) -> None:
+        self._blocks.append(block)
+        self._blocks_by_hash[block.hash] = block
+        for index, tx in enumerate(block.transactions):
+            self._tx_index[tx.hash] = (block.number, index)
+            if index < len(block.receipts):
+                self._receipts_by_tx[tx.hash] = block.receipts[index]
+
+    def close(self) -> None:
+        """Release the persistence handles (node store + block log)."""
+        self.db.close()
+        if self.block_log is not None:
+            self.block_log.close()
 
     # ------------------------------------------------------------------ #
     # Views
@@ -161,24 +251,50 @@ class Blockchain:
     def build_block(self, coinbase: Optional[Address] = None,
                     timestamp: Optional[int] = None,
                     transactions: Optional[list[Transaction]] = None) -> Block:
-        """Execute pending (or given) transactions and append a new block."""
+        """Execute pending (or given) transactions and append a new block.
+
+        Deferral semantics: a transaction that does not fit the block gas
+        limit is deferred, and so is every *later transaction from the same
+        sender* — executing those against the gap would fail the nonce
+        check and silently drop them.  Mempool-sourced deferrals return to
+        ``self.mempool``; when the caller passes an explicit
+        ``transactions`` list, the deferred ones are left in that list (in
+        order) for the caller to resubmit, and the shared mempool is not
+        touched.
+        """
         if self.executor is None:
             raise ChainError("no transaction executor configured")
         coinbase = coinbase or Address.zero()
         parent = self.head
         if timestamp is None:
             timestamp = max(parent.header.timestamp + 1, int(_time.time()))
-        if transactions is None:
-            transactions = self.mempool
+        use_mempool = transactions is None
+        if use_mempool:
+            candidates = self.mempool
             self.mempool = []
+        else:
+            candidates = list(transactions)
 
         block_ctx = self._make_block_context(parent.number + 1, timestamp, coinbase)
         receipts: list[Receipt] = []
         included: list[Transaction] = []
+        deferred: list[Transaction] = []
+        deferred_senders: set[Address] = set()
         cumulative_gas = 0
-        for tx in transactions:
+        for tx in candidates:
+            try:
+                sender = tx.sender
+            except TransactionError:
+                continue  # unsignable: cannot ever execute, drop it
+            if sender in deferred_senders:
+                # an earlier tx from this sender was deferred: executing
+                # this one would hit the nonce gap and be dropped, so it
+                # rides along to the next block instead
+                deferred.append(tx)
+                continue
             if cumulative_gas + tx.gas_limit > self.config.gas_limit:
-                self.mempool.append(tx)  # defer to the next block
+                deferred.append(tx)  # defer to the next block
+                deferred_senders.add(sender)
                 continue
             # Per-tx commit point: snapshot() flushes the state overlay so a
             # failing tx can be unwound by root; one hashing pass covers all
@@ -194,6 +310,10 @@ class Blockchain:
             receipts.append(result.receipt)
             included.append(tx)
             cumulative_gas = result.receipt.cumulative_gas_used
+        if use_mempool:
+            self.mempool.extend(deferred)
+        else:
+            transactions[:] = deferred
 
         # Sealing commit point: the last tx's writes are hashed here, and the
         # tx/receipt tries are built batch-wise (one commit each).
@@ -233,12 +353,13 @@ class Blockchain:
         if block.number != self.head.number + 1:
             raise ChainError("non-consecutive block number")
         block.validate_roots()
-        self._blocks.append(block)
-        self._blocks_by_hash[block.hash] = block
-        for index, tx in enumerate(block.transactions):
-            self._tx_index[tx.hash] = (block.number, index)
-            if index < len(block.receipts):
-                self._receipts_by_tx[tx.hash] = block.receipts[index]
+        if self.block_log is not None:
+            # The sealing state commit already fsynced (build_block), so
+            # logging the block here keeps its state root resolvable on
+            # every recovery path; a failed append leaves the in-memory
+            # chain un-extended rather than ahead of the durable history.
+            self.block_log.append(block)
+        self._index_block(block)
 
     def __repr__(self) -> str:
         return f"Blockchain(height={self.height}, mempool={len(self.mempool)})"

@@ -36,6 +36,10 @@ def _demo_quickstart(state_dir: str | None = None) -> int:
         return 1
     if state_dir is not None:
         print(f"full node state is disk-backed: {net.node_store.path}")
+        if net.chain.reattached:
+            print(f"reattached to persisted chain at height "
+                  f"{net.chain.height} "
+                  f"(head {net.chain.head.hash.hex()[:16]}…)")
     net.execute(fn_key, DEPOSIT_MODULE_ADDRESS, "deposit",
                 value=MIN_FULL_NODE_DEPOSIT)
     server = FullNodeServer(FullNode(net.chain, key=fn_key))
@@ -45,7 +49,10 @@ def _demo_quickstart(state_dir: str | None = None) -> int:
     balance = session.get_balance(alice.address)
     print(f"verified balance of alice: {balance / 10**18:.2f} tokens")
     tx = UnsignedTransaction(
-        nonce=0, gas_price=10 ** 9, gas_limit=21_000,
+        # nonce read from (possibly reattached) state so the demo can be
+        # re-run against the same --state-dir
+        nonce=net.chain.state.nonce_of(alice.address),
+        gas_price=10 ** 9, gas_limit=21_000,
         to=lc_key.address, value=123,
     ).sign(alice)
     block, index, tx_hash = session.send_raw_transaction(tx.encode())

@@ -1,5 +1,12 @@
 """Light-client substrate: header chain, multi-source sync, proof checks."""
 
+from .checkpoint import (
+    Checkpoint,
+    CheckpointSource,
+    CheckpointSyncer,
+    RangeUpdate,
+    is_better_update,
+)
 from .headerchain import HeaderChain, HeaderChainError
 from .sync import HeaderSource, HeaderSyncer, SyncError
 from .verify import (
@@ -11,11 +18,16 @@ from .verify import (
 )
 
 __all__ = [
+    "Checkpoint",
+    "CheckpointSource",
+    "CheckpointSyncer",
     "HeaderChain",
     "HeaderChainError",
     "HeaderSource",
     "HeaderSyncer",
+    "RangeUpdate",
     "SyncError",
+    "is_better_update",
     "verify_account",
     "verify_balance",
     "verify_storage_slot",

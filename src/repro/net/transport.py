@@ -85,6 +85,7 @@ class SimServerBinding:
     _ALLOWED = frozenset({
         "handshake", "open_channel", "serve_request", "relay_transaction",
         "get_transaction_count", "serve_header", "serve_head_number",
+        "serve_bootstrap", "serve_updates_range",
         "serve_batch", "batch_protocol_version", "shard_info",
     })
 
@@ -232,6 +233,12 @@ class SimEndpoint:
     def serve_head_number(self) -> int:
         return self._invoke("serve_head_number")
 
+    def serve_bootstrap(self, checkpoint_hash: bytes) -> Optional[BlockHeader]:
+        return self._invoke("serve_bootstrap", checkpoint_hash)
+
+    def serve_updates_range(self, start: int, count: int) -> list[BlockHeader]:
+        return self._invoke("serve_updates_range", start, count)
+
 
 def _call_size(call: _Call) -> int:
     size = 40  # envelope
@@ -255,4 +262,7 @@ def _reply_size(reply: _Reply) -> int:
         return 40 + 16 + 65
     if isinstance(value, BlockHeader):
         return 40 + len(value.encode())
+    if isinstance(value, (list, tuple)) and value \
+            and all(isinstance(v, BlockHeader) for v in value):
+        return 40 + sum(len(v.encode()) for v in value)  # UpdatesByRange page
     return 72

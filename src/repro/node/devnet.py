@@ -24,7 +24,7 @@ from ..contracts.channels import ChannelsModule
 from ..contracts.deposit import DepositModule
 from ..contracts.fraud import FraudModule
 from ..crypto.keys import Address, PrivateKey
-from ..storage import NodeStore, open_node_store
+from ..storage import NodeStore, open_block_log, open_node_store
 from ..vm.abi import encode_call
 from ..vm.runtime import (
     BlockContext,
@@ -56,8 +56,14 @@ class Devnet:
                  db: Optional[NodeStore] = None) -> None:
         if state_dir is not None and db is not None:
             raise ValueError("pass either state_dir or db, not both")
+        block_log = None
         if state_dir is not None:
             db = open_node_store(state_dir)
+            try:
+                block_log = open_block_log(state_dir)
+            except Exception:
+                db.close()  # don't leak the node-store handle
+                raise
         self.registry = ContractRegistry()
         self.deposit_module = DepositModule(
             DEPOSIT_MODULE_ADDRESS,
@@ -78,10 +84,16 @@ class Devnet:
         self.executor = TransactionExecutor(self.registry)
         try:
             self.chain = Blockchain(genesis or GenesisConfig(),
-                                    executor=self.executor, db=db)
+                                    executor=self.executor, db=db,
+                                    block_log=block_log)
         except Exception:
             if state_dir is not None and db is not None:
-                db.close()  # we opened it; don't leak the log handle
+                # we opened them; don't leak the log handles (close() is
+                # idempotent, so a refusal path that already closed one is
+                # safe to cover again)
+                db.close()
+                if block_log is not None:
+                    block_log.close()
             raise
         self._last_results: dict[bytes, ExecutionResult] = {}
 
@@ -91,8 +103,10 @@ class Devnet:
         return self.chain.db
 
     def close(self) -> None:
-        """Release the node store (flushes nothing: commits are per-block)."""
-        self.chain.db.close()
+        """Release the persistence handles — the node store and, when this
+        devnet runs over a ``state_dir``, the sibling block log (flushes
+        nothing: commits are per-block)."""
+        self.chain.close()
 
     # ------------------------------------------------------------------ #
     # Transactions

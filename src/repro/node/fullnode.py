@@ -113,5 +113,31 @@ class FullNode:
     def serve_head_number(self) -> int:
         return self.head_number()
 
+    def serve_bootstrap(self, checkpoint_hash: bytes) -> Optional[BlockHeader]:
+        """Checkpoint bootstrap: the full header behind a trusted hash.
+
+        Self-certifying for the client (keccak(header) must equal the hash
+        it already trusts), so it rides the free header service.
+        """
+        return self.get_header_by_hash(checkpoint_hash)
+
+    def serve_updates_range(self, start: int, count: int) -> list[BlockHeader]:
+        """UpdatesByRange: up to ``count`` consecutive headers from
+        ``start`` (capped server-side; truncated at the head).  The free
+        flavor of the billable ``parp_updatesByRange`` query — same data,
+        no signed-response accountability."""
+        from ..lightclient.checkpoint import MAX_UPDATE_PAGE
+
+        if start < 0 or count < 1:
+            return []
+        headers: list[BlockHeader] = []
+        stop = min(start + min(count, MAX_UPDATE_PAGE), self.head_number() + 1)
+        for number in range(start, stop):
+            header = self.get_header(number)
+            if header is None:  # pragma: no cover — full nodes have all
+                break
+            headers.append(header)
+        return headers
+
     def __repr__(self) -> str:
         return f"FullNode({self.name}, addr={self.address.hex()[:10]}…)"

@@ -31,6 +31,7 @@ from functools import cached_property
 from typing import Any, Optional, Sequence
 
 from ..crypto.keys import Address, PrivateKey
+from ..lightclient.checkpoint import Checkpoint, CheckpointSyncer
 from ..lightclient.sync import HeaderSyncer
 from ..net.futures import DEFAULT_TIMEOUT, wait_any
 from ..trie.shard import ShardRange
@@ -342,6 +343,7 @@ class MarketplaceClient:
                  reputation: Optional[ReputationLedger] = None,
                  witness: Optional[Any] = None,
                  headers: Optional[HeaderSyncer] = None,
+                 checkpoint: Optional[Checkpoint] = None,
                  clock=None,
                  budget: int = DEFAULT_CHANNEL_BUDGET,
                  min_sessions: int = DEFAULT_MIN_SESSIONS,
@@ -369,6 +371,7 @@ class MarketplaceClient:
         #: the most recent scatter-gather result (diagnostics/tests)
         self.last_scatter: Optional[ScatterOutcome] = None
         self._headers = headers
+        self._checkpoint = checkpoint
         self._clock = clock
         self._ticks = 0.0
         self._mismatch_noted: set[Address] = set()
@@ -384,12 +387,23 @@ class MarketplaceClient:
     @property
     def headers(self) -> HeaderSyncer:
         """One shared header chain for all sessions (headers are free and
-        multi-source, so every advertised endpoint is a source)."""
+        multi-source, so every advertised endpoint is a source).
+
+        With a ``checkpoint`` the syncer is a
+        :class:`~repro.lightclient.checkpoint.CheckpointSyncer`: it anchors
+        at the trusted header (quorum-cross-checked Bootstrap) and fetches
+        only the headers from the checkpoint forward — onboarding cost is
+        O(distance from checkpoint), not O(chain length).
+        """
         if self._headers is None:
             ads = self.marketplace.advertisements()
             if not ads:
                 raise MarketplaceError("cannot sync headers: empty marketplace")
-            self._headers = HeaderSyncer([ad.endpoint for ad in ads])
+            endpoints = [ad.endpoint for ad in ads]
+            if self._checkpoint is not None:
+                self._headers = CheckpointSyncer(endpoints, self._checkpoint)
+            else:
+                self._headers = HeaderSyncer(endpoints)
         return self._headers
 
     def _now(self) -> float:

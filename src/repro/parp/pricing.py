@@ -44,6 +44,11 @@ _DEFAULT_PRICES: dict[str, int] = {
     "eth_getTransactionReceipt": 20 * GWEI,
     "eth_sendRawTransaction": 50 * GWEI,
     "parp_channelStatus": 1 * GWEI,
+    # one checkpoint-sync page (up to MAX_UPDATE_PAGE headers): far below
+    # per-header read pricing because headers are cheap to serve in bulk,
+    # but billable — unlike the free tier, the page arrives as a *signed*
+    # response the client can escalate to the FDM
+    "parp_updatesByRange": 25 * GWEI,
 }
 
 

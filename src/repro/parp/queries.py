@@ -17,6 +17,8 @@ eth_getStorageAt(addr, slot)    state+storage account proof -> storage root -> s
 eth_getTransactionByBlockNumberAndIndex  txs  result tx == proven trie value
 eth_sendRawTransaction(raw)     txs @ incl.   proven trie value == submitted raw tx
 eth_getTransactionReceipt(hash) txs+receipts  tx at index hashes to request's hash
+parp_updatesByRange(start, n)   headers       hash-linked page anchored to the
+                                              local chain (self-certifying)
 eth_blockNumber / eth_chainId / parp_channelStatus   (unverifiable; no proof)
 =============================== ============= =====================================
 """
@@ -47,6 +49,7 @@ __all__ = [
     "execute_query",
     "verify_query_result",
     "decode_balance",
+    "decode_header_range",
     "decode_inclusion",
     "decode_int_result",
 ]
@@ -333,6 +336,73 @@ def decode_inclusion(result: bytes) -> tuple[Optional[int], Optional[int], bytes
 
 
 # --------------------------------------------------------------------------- #
+# parp_updatesByRange (billable checkpoint sync, Altair UpdatesByRange analog)
+# --------------------------------------------------------------------------- #
+
+def _execute_updates_range(backend: ChainBackend, call: RpcCall,
+                           m_b: int) -> tuple[bytes, list[bytes]]:
+    from ..lightclient.checkpoint import MAX_UPDATE_PAGE
+
+    start = call.param_int(0)
+    count = call.param_int(1)
+    if count < 1:
+        raise QueryError("updates range needs a positive header count")
+    stop = min(start + min(count, MAX_UPDATE_PAGE) - 1, backend.head_number())
+    headers: list[bytes] = []
+    for number in range(start, stop + 1):
+        header = backend.get_header(number)
+        if header is None:
+            break
+        headers.append(header.encode())
+    if not headers:
+        raise QueryError(f"no headers at or above height {start}")
+    # No trie proof: the page certifies itself through hash linkage, which
+    # the verifier anchors to the client's locally quorum-checked chain.
+    return rlp.encode(headers), []
+
+
+def _verify_updates_range(call: RpcCall, response: PARPResponse,
+                          get_header: HeaderLookup) -> None:
+    from ..lightclient.checkpoint import MAX_UPDATE_PAGE, RangeUpdate
+
+    start = call.param_int(0)
+    count = call.param_int(1)
+    try:
+        update = RangeUpdate.decode(response.result)
+    except rlp.RLPError as exc:
+        raise QueryFraud(f"malformed updates-range page: {exc}") from exc
+    if update.start != start:
+        raise QueryFraud("page starts at a different height than requested")
+    if len(update) > min(count, MAX_UPDATE_PAGE):
+        raise QueryFraud("page is longer than requested")
+    if update.tip.number > response.m_b:
+        raise QueryFraud("page extends past the server's attested head")
+    if start > 0:
+        anchor = get_header(start - 1)
+        if anchor is None:
+            raise Unverifiable(f"no local header {start - 1} to anchor the page")
+        if update.headers[0].parent_hash != anchor.hash:
+            raise QueryFraud("page does not link to the locally verified chain")
+    # Any overlap with already-verified local headers must agree exactly.
+    for header in update.headers:
+        local = get_header(header.number)
+        if local is not None and local.hash != header.hash:
+            raise QueryFraud(
+                f"page header {header.number} conflicts with the local chain"
+            )
+
+
+def decode_header_range(result: bytes) -> tuple[BlockHeader, ...]:
+    """Parse a ``parp_updatesByRange`` result into its headers."""
+    from ..lightclient.checkpoint import RangeUpdate
+
+    try:
+        return RangeUpdate.decode(result).headers
+    except rlp.RLPError as exc:
+        raise MessageError(f"malformed updates-range page: {exc}") from exc
+
+
+# --------------------------------------------------------------------------- #
 # Unverifiable queries
 # --------------------------------------------------------------------------- #
 
@@ -369,6 +439,9 @@ QUERY_CATALOG: dict[str, QuerySpec] = {
         "eth_sendRawTransaction", True, _execute_send_raw_tx, _verify_send_raw_tx),
     "eth_getTransactionReceipt": QuerySpec(
         "eth_getTransactionReceipt", True, _execute_get_receipt, _verify_get_receipt),
+    "parp_updatesByRange": QuerySpec(
+        "parp_updatesByRange", True, _execute_updates_range,
+        _verify_updates_range),
     "eth_blockNumber": QuerySpec("eth_blockNumber", False, _execute_block_number),
     "eth_chainId": QuerySpec("eth_chainId", False, _execute_chain_id),
 }

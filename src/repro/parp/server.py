@@ -297,6 +297,17 @@ class FullNodeServer:
     def serve_head_number(self) -> int:
         return self.node.serve_head_number()
 
+    def serve_bootstrap(self, checkpoint_hash: bytes) -> Optional[BlockHeader]:
+        """Free checkpoint bootstrap: the header behind a trusted hash
+        (self-certifying for the client — keccak(header) must equal it)."""
+        return self.node.serve_bootstrap(checkpoint_hash)
+
+    def serve_updates_range(self, start: int, count: int) -> list[BlockHeader]:
+        """Free UpdatesByRange page (headers ride the free tier, §IV-D);
+        the billable ``parp_updatesByRange`` query returns the same data
+        with signed-response accountability."""
+        return self.node.serve_updates_range(start, count)
+
     def get_transaction_count(self, address: Address) -> int:
         """Free bootstrap query: the LC's nonce for channel transactions."""
         return self.node.chain.state.nonce_of(address)

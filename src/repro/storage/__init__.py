@@ -1,13 +1,16 @@
-"""Persistent node-store backends for the Merkle Patricia Tries.
+"""Persistent storage backends: trie node stores and the block log.
 
 The tries write committed nodes through a :class:`NodeStore`;
 :class:`MemoryNodeStore` keeps the seed's dict behaviour and
 :class:`AppendOnlyFileStore` puts the state on disk with crash-safe,
-checksummed commit batches.  ``as_node_store`` normalizes what callers pass
-(None / dict / store / path); ``open_node_store`` applies the ``--state-dir``
-directory convention.
+checksummed commit batches.  :class:`BlockLog` is the sibling log that
+persists headers/bodies/receipts so a full node can restart at its head.
+``as_node_store`` normalizes what callers pass (None / dict / store /
+path); ``open_node_store`` / ``open_block_log`` apply the ``--state-dir``
+directory convention (``nodes.log`` + ``blocks.log``).
 """
 
+from .blocklog import BLOCK_LOG_MAGIC, BlockLog, BlockLogStats, open_block_log
 from .filestore import (
     AppendOnlyFileStore,
     FileStoreStats,
@@ -21,8 +24,12 @@ __all__ = [
     "MemoryNodeStore",
     "AppendOnlyFileStore",
     "FileStoreStats",
+    "BlockLog",
+    "BlockLogStats",
     "StoreError",
     "as_node_store",
     "open_node_store",
+    "open_block_log",
     "MAGIC",
+    "BLOCK_LOG_MAGIC",
 ]

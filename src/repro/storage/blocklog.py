@@ -1,0 +1,366 @@
+"""Append-only, crash-safe chain-metadata log (blocks.log).
+
+The node store (``nodes.log``) persists state trie nodes; this sibling log
+persists everything else a restarting full node needs — headers, block
+bodies, receipts — so the tx index and receipt map can be rebuilt and the
+chain can reattach at its recovered head instead of refusing to start.
+
+The discipline mirrors :class:`~repro.storage.filestore.AppendOnlyFileStore`:
+
+* **Data layout** — one log file: an 8-byte magic header, then one record
+  per sealed block::
+
+      0xB2 | u32 number | u32 payload len | payload
+           | 32-byte block hash | u32 crc32
+
+  where ``payload = rlp([header, [tx…], [receipt…]])`` (each element the
+  canonical encoding already used by the tx/receipt tries).  The CRC covers
+  everything from the marker through the block hash.
+
+* **Write path** — :meth:`append` serializes the block into one buffer and
+  lands it with a single ``write`` + ``flush`` + ``fsync``.  The chain
+  appends *after* the state commit fsyncs, so the block log can never be
+  durably ahead of the node store: every recovered block's state root is
+  resolvable (the node store is append-only, historical roots survive).
+
+* **Recovery** — on open, records are scanned front-to-back.  A short
+  read, bad marker, CRC mismatch, undecodable payload, hash mismatch, or
+  broken parent linkage ends the valid prefix; the file is truncated back
+  to the last complete block — a crash mid-append loses only the block
+  that was never acknowledged.  A torn magic header (crash while creating
+  the file) re-initializes instead of wedging the node forever.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import struct
+import threading
+import zlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Union
+
+from ..rlp import codec as rlp
+from .nodestore import StoreError
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle (chain → trie → storage)
+    from ..chain.block import Block
+
+__all__ = ["BlockLog", "BlockLogStats", "open_block_log"]
+
+#: file signature: PARP block log, format version 1
+BLOCK_LOG_MAGIC = b"PARPBL01"
+_RECORD_MARKER = b"\xb2"
+_U32 = struct.Struct("<I")
+_HASH_LEN = 32
+_PREFIX_LEN = 1 + 2 * _U32.size            # marker | number | payload len
+_TRAILER_LEN = _HASH_LEN + _U32.size       # block hash | crc
+
+
+@dataclass
+class BlockLogStats:
+    """Operational counters surfaced to benches and the serving node."""
+
+    blocks_appended: int = 0
+    bytes_appended: int = 0
+    #: records found intact by the recovery scan on the most recent open
+    blocks_recovered: int = 0
+    #: torn/corrupt suffix bytes truncated away on the most recent open
+    truncated_bytes: int = 0
+
+
+def _encode_block(block: "Block") -> bytes:
+    return rlp.encode([
+        block.header.encode(),
+        [tx.encode() for tx in block.transactions],
+        [receipt.encode() for receipt in block.receipts],
+    ])
+
+
+def _decode_block(payload: bytes) -> "Block":
+    # Deferred: repro.chain imports repro.trie imports repro.storage, so a
+    # module-level import here would close the cycle.
+    from ..chain.block import Block
+    from ..chain.header import BlockHeader
+    from ..chain.receipt import Receipt
+    from ..chain.transaction import Transaction
+
+    item = rlp.decode(payload)
+    if not isinstance(item, list) or len(item) != 3:
+        raise StoreError("block record payload must be a 3-item RLP list")
+    header_b, tx_items, receipt_items = item
+    if (not isinstance(header_b, bytes) or not isinstance(tx_items, list)
+            or not isinstance(receipt_items, list)):
+        raise StoreError("malformed block record payload")
+    header = BlockHeader.decode(header_b)
+    transactions = tuple(Transaction.decode(raw) for raw in tx_items)
+    # The canonical receipt encoding carries only the cumulative gas; the
+    # per-tx convenience field is re-derived from the running difference so
+    # a restarted node serves byte- and field-identical receipts.
+    receipts: list[Receipt] = []
+    previous_cumulative = 0
+    for raw in receipt_items:
+        receipt = Receipt.decode(raw)
+        receipts.append(Receipt(
+            status=receipt.status,
+            cumulative_gas_used=receipt.cumulative_gas_used,
+            logs=receipt.logs,
+            gas_used=receipt.cumulative_gas_used - previous_cumulative,
+        ))
+        previous_cumulative = receipt.cumulative_gas_used
+    return Block(header=header, transactions=transactions,
+                 receipts=tuple(receipts))
+
+
+class BlockLog:
+    """Durable block history over a single append-only log file.
+
+    ``sync=False`` trades the per-append ``fsync`` for speed; the atomicity
+    guarantee — recover to a complete block, never a torn record — holds
+    either way because it comes from the CRC, not the fsync.
+    """
+
+    def __init__(self, path: Union[str, os.PathLike],
+                 *, sync: bool = True) -> None:
+        self._path = pathlib.Path(path)
+        self._sync = sync
+        self._lock = threading.Lock()
+        self._closed = False
+        #: a failed append that could not be truncated away wedges writes
+        #: (the recovered history stays valid); reopening clears it
+        self._wedged = False
+        self.stats = BlockLogStats()
+        #: the recovered (and since-appended) chain, oldest first — the
+        #: same Block objects the Blockchain indexes, not copies
+        self.blocks: list[Block] = []
+        #: file offset where each record starts (parallel to ``blocks``),
+        #: so a tail whose state the node store cannot resolve can be
+        #: rewound record-precisely
+        self._offsets: list[int] = []
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        fresh = not self._path.exists() or self._path.stat().st_size == 0
+        self._fh = open(self._path, "a+b")
+        if fresh:
+            self._fh.write(BLOCK_LOG_MAGIC)
+            self._fh.flush()
+            if self._sync:
+                os.fsync(self._fh.fileno())
+        else:
+            self._recover()
+
+    # ------------------------------------------------------------------ #
+    # Views
+    # ------------------------------------------------------------------ #
+
+    @property
+    def path(self) -> pathlib.Path:
+        return self._path
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def last_number(self) -> Optional[int]:
+        return self.blocks[-1].number if self.blocks else None
+
+    @property
+    def last_hash(self) -> Optional[bytes]:
+        return self.blocks[-1].hash if self.blocks else None
+
+    # ------------------------------------------------------------------ #
+    # Write path
+    # ------------------------------------------------------------------ #
+
+    def append(self, block: Block) -> None:
+        """Append one sealed block as a checksummed, fsynced record."""
+        if self.blocks:
+            tip = self.blocks[-1]
+            if block.number != tip.number + 1:
+                raise StoreError(
+                    f"block log expected number {tip.number + 1}, "
+                    f"got {block.number}"
+                )
+            if block.header.parent_hash != tip.hash:
+                raise StoreError(
+                    f"block {block.number} does not link to the logged tip "
+                    f"{tip.hash.hex()[:12]}"
+                )
+        payload = _encode_block(block)
+        record = bytearray()
+        record += _RECORD_MARKER
+        record += _U32.pack(block.number)
+        record += _U32.pack(len(payload))
+        record += payload
+        record += block.hash
+        record += _U32.pack(zlib.crc32(bytes(record)))
+        with self._lock:
+            self._require_open()
+            if self._wedged:
+                raise StoreError(
+                    f"block log {self._path} refused the append: a failed "
+                    "write could not be truncated away, so further records "
+                    "would be discarded by crash recovery"
+                )
+            self._fh.seek(0, os.SEEK_END)
+            base = self._fh.tell()
+            try:
+                self._fh.write(record)
+                self._fh.flush()
+                if self._sync:
+                    os.fsync(self._fh.fileno())
+            except Exception:
+                # drop the partial record so later appends do not bury a
+                # torn one mid-log; if even that fails, wedge the log
+                try:
+                    self._fh.truncate(base)
+                    self._fh.flush()
+                except OSError:
+                    self._wedged = True
+                raise
+            self.blocks.append(block)
+            self._offsets.append(base)
+            self.stats.blocks_appended += 1
+            self.stats.bytes_appended += len(record)
+
+    def rewind(self, count: int) -> None:
+        """Drop the last ``count`` records (truncate the file to match).
+
+        Used on reattach when the tail of the log references state the node
+        store cannot resolve (e.g. the operator restored ``nodes.log`` from
+        an older copy than ``blocks.log``).
+        """
+        if count <= 0:
+            return
+        if count > len(self.blocks):
+            raise StoreError(
+                f"cannot rewind {count} blocks: log holds {len(self.blocks)}"
+            )
+        with self._lock:
+            self._require_open()
+            base = self._offsets[len(self.blocks) - count]
+            self._fh.truncate(base)
+            self._fh.flush()
+            if self._sync:
+                os.fsync(self._fh.fileno())
+            del self.blocks[len(self.blocks) - count:]
+            del self._offsets[len(self._offsets) - count:]
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._fh.close()
+
+    # ------------------------------------------------------------------ #
+    # Recovery
+    # ------------------------------------------------------------------ #
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise StoreError(f"block log {self._path} is closed")
+
+    def _recover(self) -> None:
+        """Rebuild the block list from the longest valid prefix.
+
+        Validity is per-record *and* chain-structural: the CRC must match,
+        the stored hash must equal the decoded header's hash, and each
+        block must link to the previous record by number and parent hash.
+        The scan is front-to-back, so the first bad record invalidates
+        everything after it — later blocks build on the damaged one.
+        """
+        total = os.fstat(self._fh.fileno()).st_size
+        self._fh.seek(0)
+        magic = self._fh.read(len(BLOCK_LOG_MAGIC))
+        if len(magic) < len(BLOCK_LOG_MAGIC) and BLOCK_LOG_MAGIC.startswith(magic):
+            # a crash while creating the fresh log tore the header itself:
+            # nothing was ever logged, so re-initialize
+            self.stats.truncated_bytes = len(magic)
+            self._fh.truncate(0)
+            self._fh.write(BLOCK_LOG_MAGIC)
+            self._fh.flush()
+            if self._sync:
+                os.fsync(self._fh.fileno())
+            return
+        if magic != BLOCK_LOG_MAGIC:
+            raise StoreError(
+                f"{self._path} is not a PARP block log (bad magic {magic!r})"
+            )
+        offset = len(BLOCK_LOG_MAGIC)
+        good_end = offset
+        while offset < total:
+            parsed = self._scan_record(offset, total)
+            if parsed is None:
+                break  # torn or corrupt suffix: stop at the last good block
+            block, next_offset = parsed
+            if self.blocks:
+                tip = self.blocks[-1]
+                if (block.number != tip.number + 1
+                        or block.header.parent_hash != tip.hash):
+                    break
+            self.blocks.append(block)
+            self._offsets.append(offset)
+            offset = next_offset
+            good_end = offset
+        if good_end < total:
+            self.stats.truncated_bytes = total - good_end
+            self._fh.truncate(good_end)
+            self._fh.flush()
+            if self._sync:
+                os.fsync(self._fh.fileno())
+        self.stats.blocks_recovered = len(self.blocks)
+
+    def _scan_record(self, offset: int, total: int
+                     ) -> Optional[tuple[Block, int]]:
+        """Parse one record at ``offset``; returns (block, next offset) or
+        None on any short read, bad marker, CRC mismatch, or decode error."""
+        fh = self._fh
+        fh.seek(offset)
+        prefix = fh.read(_PREFIX_LEN)
+        if len(prefix) != _PREFIX_LEN or prefix[:1] != _RECORD_MARKER:
+            return None
+        (number,) = _U32.unpack_from(prefix, 1)
+        (payload_len,) = _U32.unpack_from(prefix, 1 + _U32.size)
+        end = offset + _PREFIX_LEN + payload_len + _TRAILER_LEN
+        if end > total:
+            return None
+        payload = fh.read(payload_len)
+        if len(payload) != payload_len:
+            return None
+        trailer = fh.read(_TRAILER_LEN)
+        if len(trailer) != _TRAILER_LEN:
+            return None
+        block_hash = trailer[:_HASH_LEN]
+        (stored_crc,) = _U32.unpack_from(trailer, _HASH_LEN)
+        crc = zlib.crc32(prefix)
+        crc = zlib.crc32(payload, crc)
+        crc = zlib.crc32(block_hash, crc)
+        if crc != stored_crc:
+            return None
+        try:
+            block = _decode_block(payload)
+        except Exception:  # noqa: BLE001 — any decode failure ends the prefix
+            return None
+        if block.number != number or block.hash != block_hash:
+            return None
+        return block, end
+
+    def __repr__(self) -> str:
+        head = self.last_number if self.blocks else "empty"
+        return f"BlockLog({str(self._path)!r}, head={head})"
+
+
+def open_block_log(state_dir: Union[str, os.PathLike],
+                   *, sync: bool = True) -> BlockLog:
+    """Open (or create) the chain-metadata log of a node's ``--state-dir``.
+
+    Lives next to ``nodes.log`` (see :func:`open_node_store`); together the
+    two files are the complete durable footprint of a full node.
+    """
+    state_dir = pathlib.Path(state_dir)
+    if state_dir.exists() and not state_dir.is_dir():
+        raise StoreError(
+            f"{state_dir} exists but is not a directory — open a bare log "
+            "with BlockLog(path) or move it to <dir>/blocks.log"
+        )
+    state_dir.mkdir(parents=True, exist_ok=True)
+    return BlockLog(state_dir / "blocks.log", sync=sync)

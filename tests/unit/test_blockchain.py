@@ -117,6 +117,49 @@ class TestBlockProduction:
         assert len(block.transactions) == 2
         assert len(chain.mempool) == 1
 
+    def test_deferral_carries_same_sender_successors(self, chain):
+        """Regression: when a tx is deferred for gas, *later* txs from the
+        same sender must be deferred too — executing them against the nonce
+        gap used to drop them silently, losing the whole tail."""
+        for i in range(3):
+            chain.add_transaction(transfer(nonce=i))
+        # room for exactly one 21k transfer: alice #0 fits, alice #1 defers
+        # for gas, and alice #2 must ride along instead of executing into
+        # the nonce gap (which would silently drop it)
+        chain.config = GenesisConfig(
+            allocations=chain.config.allocations, gas_limit=30_000,
+        )
+        block = chain.build_block()
+        assert [tx.nonce for tx in block.transactions] == [0]
+        assert [tx.nonce for tx in chain.mempool] == [1, 2]
+        # the deferred tail is intact: a follow-up block includes all of it
+        chain.config = GenesisConfig(allocations=chain.config.allocations)
+        block2 = chain.build_block()
+        assert [tx.nonce for tx in block2.transactions] == [1, 2]
+        assert chain.mempool == []
+
+    def test_explicit_list_deferral_stays_in_callers_list(self, chain):
+        """An explicit ``transactions=`` list is the caller's: deferred txs
+        are left in it (in order) and must never leak into the shared
+        mempool."""
+        mine = [transfer(nonce=0), transfer(nonce=1), transfer(nonce=2)]
+        unrelated = transfer(sender=BOB, nonce=0, value=1)
+        chain.add_transaction(unrelated)
+        chain.config = GenesisConfig(
+            allocations=chain.config.allocations, gas_limit=21_000,
+        )
+        block = chain.build_block(transactions=mine)
+        assert len(block.transactions) == 1
+        assert [tx.nonce for tx in mine] == [1, 2]
+        # the mempool still holds exactly what it held before
+        assert [tx.hash for tx in chain.mempool] == [unrelated.hash]
+        # resubmitting the caller's leftover list drains it
+        chain.config = GenesisConfig(allocations=chain.config.allocations)
+        block2 = chain.build_block(transactions=mine)
+        assert [tx.nonce for tx in block2.transactions] == [1, 2]
+        assert mine == []
+        assert [tx.hash for tx in chain.mempool] == [unrelated.hash]
+
     def test_executor_required(self):
         bare = Blockchain(GenesisConfig())
         with pytest.raises(ChainError):

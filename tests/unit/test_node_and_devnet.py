@@ -167,12 +167,40 @@ class TestDevnetPersistence:
         assert net.node_store.last_root == net.chain.head.header.state_root
         net.close()
 
-    def test_reopening_populated_state_dir_is_refused(self, tmp_path):
-        """Replaying genesis over a populated store would rewind
-        store.last_root (the crash-recovery point) to the genesis root —
-        until chain metadata is persisted too, the chain refuses and the
-        store must be reattached read-side."""
-        from repro.chain.chain import ChainError
+    def test_reopening_populated_state_dir_reattaches(self, tmp_path):
+        """A devnet reopened over its ``state_dir`` resumes at the recovered
+        head — identical hash, state root, and tx index — and keeps mining
+        (the sibling blocks.log makes the replay refusal obsolete)."""
+        genesis = GenesisConfig(allocations={ALICE.address: 10 * TOKEN})
+        state_dir = tmp_path / "node-state"
+        net = Devnet(genesis, state_dir=state_dir)
+        tx = net.send_transaction(ALICE, BOB.address, value=1)
+        net.mine()
+        head_hash = net.chain.head.hash
+        head_root = net.chain.head.header.state_root
+        net.close()
+
+        reopened = Devnet(genesis, state_dir=state_dir)
+        try:
+            assert reopened.chain.reattached
+            assert reopened.chain.head.hash == head_hash
+            assert reopened.chain.head.header.state_root == head_root
+            assert reopened.node_store.last_root == head_root
+            block, index = reopened.chain.find_transaction(tx.hash)
+            assert (block.number, index) == (1, 0)
+            assert reopened.chain.get_receipt(tx.hash).succeeded
+            # and the node keeps producing blocks on top of the old head
+            reopened.send_transaction(ALICE, BOB.address, value=2)
+            assert reopened.mine().number == 2
+            assert reopened.balance_of(BOB.address) == 3
+        finally:
+            reopened.close()
+
+    def test_populated_store_without_block_log_is_refused(self, tmp_path):
+        """A bare populated node store (no blocks.log) still refuses:
+        without history it could only be replayed into, which would rewind
+        store.last_root (the crash-recovery point) to the genesis root."""
+        from repro.chain.chain import Blockchain, ChainError
         from repro.storage import open_node_store
 
         state_dir = tmp_path / "node-state"
@@ -183,8 +211,8 @@ class TestDevnetPersistence:
         head_root = net.chain.head.header.state_root
         net.close()
         with pytest.raises(ChainError, match="already contains committed"):
-            Devnet(GenesisConfig(allocations={ALICE.address: TOKEN}),
-                   state_dir=state_dir)
+            Blockchain(GenesisConfig(allocations={ALICE.address: TOKEN}),
+                       db=open_node_store(state_dir))
         # the refusal must not have moved the recovery point
         store = open_node_store(state_dir)
         assert store.last_root == head_root
