@@ -3,6 +3,7 @@ plus the futures-based endpoint transport (submit, wait_any, hedged races)."""
 
 from .futures import (
     EndpointTimeout,
+    ExponentialBackoff,
     PendingReply,
     ReplyCancelled,
     as_completed,
@@ -30,6 +31,7 @@ __all__ = [
     "ReplyCancelled",
     "RemoteError",
     "PendingReply",
+    "ExponentialBackoff",
     "wait_any",
     "wait_all",
     "as_completed",

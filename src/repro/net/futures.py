@@ -16,6 +16,7 @@ only ever carries opaque values and exceptions.
 
 from __future__ import annotations
 
+import random
 import threading
 from typing import Any, Callable, Iterable, Optional, Sequence
 
@@ -23,6 +24,7 @@ __all__ = [
     "EndpointTimeout",
     "ReplyCancelled",
     "PendingReply",
+    "ExponentialBackoff",
     "wait_any",
     "wait_all",
     "as_completed",
@@ -200,6 +202,42 @@ class PendingReply:
     def __repr__(self) -> str:
         return (f"PendingReply({self.method or '?'}→{self.target or '?'}, "
                 f"{self._state})")
+
+
+class ExponentialBackoff:
+    """Deterministic jittered exponential backoff.
+
+    ``delay(attempt)`` for attempt 1, 2, 3… grows as ``base × factor^(n-1)``
+    capped at ``cap``, with ±``jitter`` (a fraction of the raw delay) applied
+    from an RNG stream derived from ``(seed, attempt)`` — the same attempt
+    number always yields the same delay for a given seed, so retry schedules
+    reproduce run-to-run while still decorrelating across seeds (give each
+    retrying party its own seed and synchronized clients don't re-converge
+    into the thundering herd the jitter exists to break up).
+    """
+
+    def __init__(self, base: float = 0.1, factor: float = 2.0,
+                 cap: float = 10.0, jitter: float = 0.5,
+                 seed: int = 0) -> None:
+        if base < 0 or factor < 1.0 or cap < base:
+            raise ValueError("backoff needs base ≥ 0, factor ≥ 1, cap ≥ base")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError("jitter must be a fraction in [0, 1]")
+        self.base = base
+        self.factor = factor
+        self.cap = cap
+        self.jitter = jitter
+        self.seed = seed
+
+    def delay(self, attempt: int) -> float:
+        """Delay before retry ``attempt`` (1-indexed; values < 1 clamp to 1)."""
+        n = max(1, int(attempt))
+        raw = min(self.cap, self.base * self.factor ** (n - 1))
+        if not self.jitter or not raw:
+            return raw
+        rng = random.Random(f"backoff|{self.seed}|{n}")
+        spread = self.jitter * raw
+        return max(0.0, raw - spread + 2.0 * spread * rng.random())
 
 
 # ---------------------------------------------------------------------- #

@@ -86,7 +86,7 @@ class SimServerBinding:
         "handshake", "open_channel", "serve_request", "relay_transaction",
         "get_transaction_count", "serve_header", "serve_head_number",
         "serve_bootstrap", "serve_updates_range",
-        "serve_batch", "batch_protocol_version", "shard_info",
+        "serve_batch", "batch_protocol_version", "shard_info", "load_info",
     })
 
     def __init__(self, network: SimNetwork, name: str,
@@ -118,7 +118,25 @@ class SimServerBinding:
                 # remote failure, not kill the event loop
                 reply = _Reply(payload.request_id, False, str(exc),
                                type(exc).__name__)
+        # Admission-controlled servers model a queueing+service delay for
+        # each admitted request; materialize it by scheduling the reply that
+        # far into simulated time, so under load responses observably wait
+        # behind the backlog instead of returning instantly.
+        delay = self._consume_service_delay()
+        if delay > 0:
+            self.network.schedule(
+                delay,
+                lambda: self.network.send(self.name, src, reply,
+                                          size_bytes=_reply_size(reply)),
+            )
+            return
         self.network.send(self.name, src, reply, size_bytes=_reply_size(reply))
+
+    def _consume_service_delay(self) -> float:
+        consume = getattr(self.server, "consume_service_delay", None)
+        if consume is None:
+            return 0.0
+        return consume()
 
 
 class SimEndpoint:
@@ -220,6 +238,9 @@ class SimEndpoint:
 
     def shard_info(self):
         return self._invoke("shard_info")
+
+    def load_info(self) -> dict:
+        return self._invoke("load_info")
 
     def relay_transaction(self, raw_tx: bytes) -> bytes:
         return self._invoke("relay_transaction", raw_tx)

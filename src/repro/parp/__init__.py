@@ -20,10 +20,14 @@ _EXPORTS = {
     "LightClientSession": "client", "ServerEndpoint": "client",
     "RequestOutcome": "client", "SessionError": "client",
     "InvalidResponse": "client", "FraudDetected": "client",
+    "ServerOverloaded": "client",
     "BatchItem": "client", "BatchOutcome": "client",
     "PendingRequest": "client", "PendingBatch": "client",
     # server
     "FullNodeServer": "server", "ServeError": "server", "ServerStats": "server",
+    # admission
+    "AdmissionConfig": "admission", "AdmissionController": "admission",
+    "AdmissionDecision": "admission",
     # channel state
     "ClientChannel": "channel", "ServerChannel": "channel", "ChannelError": "channel",
     # handshake
@@ -33,10 +37,13 @@ _EXPORTS = {
     "PARPRequest": "messages", "PARPResponse": "messages", "RpcCall": "messages",
     "BatchRequest": "messages", "BatchResponse": "messages",
     "ResponseStatus": "messages", "MessageError": "messages",
+    "OverloadedReply": "messages",
     # pricing
     "FeeSchedule": "pricing", "FlatFeeSchedule": "pricing",
     "CallBasedFeeSchedule": "pricing", "DEFAULT_FEE_SCHEDULE": "pricing",
     "REFERENCE_BASKET": "pricing",
+    "RepricedFeeSchedule": "pricing", "load_multiplier": "pricing",
+    "MULTIPLIER_SCALE": "pricing",
     # marketplace
     "Marketplace": "marketplace", "MarketplaceClient": "marketplace",
     "MarketplaceError": "marketplace", "MarketplaceStats": "marketplace",
@@ -52,6 +59,7 @@ _EXPORTS = {
     "EVENT_INVALID_RESPONSE": "reputation", "EVENT_FRAUD_DETECTED": "reputation",
     "EVENT_FRAUD_SLASHED": "reputation", "EVENT_EQUIVOCATION": "reputation",
     "EVENT_TIMEOUT": "reputation", "EVENT_VERSION_MISMATCH": "reputation",
+    "EVENT_OVERLOADED": "reputation", "SOFT_EVENT_KINDS": "reputation",
     # fraud proofs
     "FraudProofPackage": "fraudproof", "FraudProofError": "fraudproof",
     "WitnessService": "fraudproof", "build_fraud_package": "fraudproof",

@@ -42,6 +42,7 @@ from .messages import (
     BatchRequest,
     BatchResponse,
     MessageError,
+    OverloadedReply,
     PARPRequest,
     PARPResponse,
     ResponseStatus,
@@ -61,6 +62,7 @@ __all__ = [
     "SessionError",
     "InvalidResponse",
     "FraudDetected",
+    "ServerOverloaded",
     "RequestOutcome",
     "BatchItem",
     "BatchOutcome",
@@ -120,6 +122,28 @@ class FraudDetected(SessionError):
         super().__init__(f"fraud detected [{report.check}]: {report.detail}")
         self.report = report
         self.package = package
+
+
+class ServerOverloaded(SessionError):
+    """The server shed the request with a signed ``Overloaded`` reply.
+
+    A **soft** failure: the server met the protocol — it attributably
+    declined, quoted when to come back (``retry_after``) and at what price
+    (``fee_multiplier``) — so callers must not slash its reputation or
+    concede the payment.  The marketplace reacts with re-ranking, failover,
+    or a jittered backoff retry; nothing about the channel changes.
+    """
+
+    def __init__(self, reply: OverloadedReply) -> None:
+        super().__init__(
+            f"server overloaded (load={reply.load:.2f}); "
+            f"retry after {reply.retry_after:.3f}s "
+            f"at ×{reply.fee_multiplier:.3f} fees"
+        )
+        self.reply = reply
+        self.load = reply.load
+        self.retry_after = reply.retry_after
+        self.fee_multiplier = reply.fee_multiplier
 
 
 @dataclass(frozen=True)
@@ -431,8 +455,34 @@ class LightClientSession:
             call=call, key=self.key,
         )
 
+    def _raise_if_overloaded(self, raw: bytes, h_req: bytes) -> None:
+        """Classify a signed ``Overloaded`` shed before normal decoding.
+
+        Raises :class:`ServerOverloaded` for a *verified* overload reply
+        (signed by our bonded server, echoing our request hash) — the soft
+        path.  A malformed or mis-signed overload frame is treated exactly
+        like any other unverifiable response: :class:`InvalidResponse`, so a
+        third party cannot forge backpressure on the server's behalf.
+
+        The channel keeps the shed request's payment as *spent but never
+        acked*: cumulative amounts mean a later served request folds it in,
+        and a cooperative close concedes only acked value — shedding costs
+        the client nothing.
+        """
+        if not OverloadedReply.is_overload_wire(raw):
+            return
+        try:
+            reply = OverloadedReply.decode_wire(raw)
+            reply.verify(expected_signer=self.full_node, expected_h_req=h_req)
+        except MessageError as exc:
+            raise InvalidResponse(VerificationReport(
+                ResponseClass.INVALID, "overload", str(exc),
+            )) from exc
+        raise ServerOverloaded(reply)
+
     def process_response(self, request: PARPRequest, raw: bytes) -> RequestOutcome:
         """Step (D): decode, header-sync, classify, and act on a response."""
+        self._raise_if_overloaded(raw, request.h_req)
         try:
             response = PARPResponse.decode_wire(raw)
         except MessageError as exc:
@@ -541,6 +591,7 @@ class LightClientSession:
     def process_batch_response(self, request: BatchRequest,
                                raw: bytes) -> BatchOutcome:
         """Step (D) for a batch: decode, header-sync, classify per item."""
+        self._raise_if_overloaded(raw, request.h_req)
         try:
             response = BatchResponse.decode_wire(raw)
         except MessageError as exc:

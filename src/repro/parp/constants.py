@@ -21,6 +21,8 @@ __all__ = [
     "STATUS_BYTES",
     "REQUEST_OVERHEAD_BYTES",
     "RESPONSE_OVERHEAD_BYTES",
+    "MILLIS_BYTES",
+    "OVERLOAD_OVERHEAD_BYTES",
     "BATCH_PROTOCOL_VERSION",
     "BATCH_REQUEST_OVERHEAD_BYTES",
     "BATCH_RESPONSE_OVERHEAD_BYTES",
@@ -56,6 +58,18 @@ RESPONSE_OVERHEAD_BYTES = (
 )  # = 187
 
 MAX_AMOUNT = (1 << (8 * AMOUNT_BYTES)) - 1
+
+#: fixed-point u32 fields of the Overloaded reply (load factor, retry-after
+#: seconds, fee multiplier — all in thousandths).
+MILLIS_BYTES = 4
+#: Overloaded reply wire size (it is all metadata — no payload):
+#: status(1) ‖ m_B(8) ‖ load(4) ‖ retry_after(4) ‖ fee_mult(4) ‖ h_req(32) ‖
+#: σ_ovl(65) = **118 bytes** — cheaper than any served response, which is the
+#: point: shedding must cost the server (and the wire) less than serving.
+OVERLOAD_OVERHEAD_BYTES = (
+    STATUS_BYTES + HEIGHT_BYTES + 3 * MILLIS_BYTES + HASH_BYTES
+    + SIGNATURE_BYTES
+)  # = 118
 
 # -- batched queries (multiproof extension) -------------------------------- #
 #: version of the batch sub-protocol; a client only batches against a server

@@ -33,7 +33,7 @@ from typing import Any, Optional, Sequence
 from ..crypto.keys import Address, PrivateKey
 from ..lightclient.checkpoint import Checkpoint, CheckpointSyncer
 from ..lightclient.sync import HeaderSyncer
-from ..net.futures import DEFAULT_TIMEOUT, wait_any
+from ..net.futures import DEFAULT_TIMEOUT, ExponentialBackoff, wait_any
 from ..trie.shard import ShardRange
 from .client import (
     DEFAULT_GAS_PRICE,
@@ -46,6 +46,7 @@ from .client import (
     PendingRequest,
     RequestOutcome,
     ServerEndpoint,
+    ServerOverloaded,
     SessionError,
 )
 from .constants import (
@@ -66,6 +67,7 @@ from .reputation import (
     EVENT_FRAUD_DETECTED,
     EVENT_FRAUD_SLASHED,
     EVENT_INVALID_RESPONSE,
+    EVENT_OVERLOADED,
     EVENT_SERVED_OK,
     EVENT_TIMEOUT,
     EVENT_VERSION_MISMATCH,
@@ -137,11 +139,18 @@ class ServerAdvertisement:
     def for_server(cls, server: Any, name: str = "",
                    endpoint: Optional[ServerEndpoint] = None,
                    ) -> "ServerAdvertisement":
-        """Build an advertisement straight from a :class:`FullNodeServer`."""
+        """Build an advertisement straight from a :class:`FullNodeServer`.
+
+        An admission-controlled server advertises its *quoted* schedule —
+        the base fees scaled by the current load multiplier — so surge
+        pricing reaches clients through the directory, the same channel
+        every other term of the offer travels.
+        """
+        quoted = getattr(server, "quoted_fee_schedule", None)
         return cls(
             address=server.address,
             endpoint=endpoint if endpoint is not None else server,
-            fee_schedule=server.fee_schedule,
+            fee_schedule=quoted() if callable(quoted) else server.fee_schedule,
             batch_version=server.batch_protocol_version(),
             name=name or getattr(getattr(server, "node", None), "name", ""),
             shard=getattr(server, "shard_range", None),
@@ -186,6 +195,23 @@ class Marketplace:
         self.advertise(ad)
         return ad
 
+    def republish(self, server: Any) -> Optional[ServerAdvertisement]:
+        """Refresh a server's advertisement under its *current* load.
+
+        Keeps the published name and endpoint (they do not change with
+        load); only the priced terms — the quoted fee schedule — are
+        re-read.  A server that never advertised here is left alone (None):
+        republishing is a refresh, not a registration.
+        """
+        existing = self._ads.get(server.address)
+        if existing is None:
+            return None
+        ad = ServerAdvertisement.for_server(
+            server, name=existing.name, endpoint=existing.endpoint,
+        )
+        self.advertise(ad)
+        return ad
+
     def withdraw(self, address: Address) -> None:
         self._ads.pop(address, None)
 
@@ -223,6 +249,8 @@ class MarketplaceStats:
     hedges_cancelled: int = 0     # losing in-flight requests cancelled
     sharded_queries: int = 0      # query_sharded scatter-gathers run
     scatter_legs: int = 0         # shard legs across all scatters
+    soft_failovers: int = 0       # Overloaded sheds routed around (no slash)
+    retry_storms_avoided: int = 0  # waits honoring a server's retry_after
 
 
 @dataclass
@@ -230,7 +258,7 @@ class HedgeAttempt:
     """One server's leg of a hedged race (see ``MarketplaceClient.last_hedge``).
 
     ``outcome`` ∈ {"in-flight", "won", "cancelled", "unused", "timeout",
-    "invalid", "fraud", "session-error"} — "cancelled" means the request was
+    "invalid", "fraud", "overloaded", "session-error"} — "cancelled" means the request was
     provably still in flight when the winner's response verified; "unused"
     means the reply had already arrived but was never read.
     """
@@ -329,6 +357,10 @@ class _LegRace:
 #: consecutive transport timeouts before a server is demoted to last resort.
 COLD_AFTER = 2
 
+#: how many times one query may *defer* back to an overloaded server (wait
+#: out its retry_after and re-issue) before giving up on it for this query.
+MAX_OVERLOAD_DEFERS = 2
+
 
 class MarketplaceClient:
     """A light client that shops the marketplace instead of trusting one node.
@@ -379,6 +411,18 @@ class MarketplaceClient:
         #: server drops to the back of the ranking so retries stop signing
         #: payments into a channel nobody is answering
         self._cold: dict[Address, int] = {}
+        #: per-server backoff deadlines (clock instants) set by ``Overloaded``
+        #: replies: the server's own retry_after, escalated by the shared
+        #: jittered exponential policy on consecutive sheds.  A backed-off
+        #: server sinks in the ranking, and re-issuing to it *waits out* the
+        #: deadline first — honoring retry_after is what prevents the
+        #: synchronized retry storm.
+        self._backoff: dict[Address, float] = {}
+        self._overload_streak: dict[Address, int] = {}
+        self._backoff_policy = ExponentialBackoff(
+            base=0.05, factor=2.0, cap=5.0, jitter=0.5,
+            seed=int(self.address.hex()[:8], 16),
+        )
 
     @property
     def address(self) -> Address:
@@ -411,6 +455,74 @@ class MarketplaceClient:
             return float(self._clock())
         self._ticks += 1.0          # deterministic logical time
         return self._ticks
+
+    # ------------------------------------------------------------------ #
+    # Overload backoff (honoring a server's signed retry_after)
+    # ------------------------------------------------------------------ #
+
+    def _in_backoff(self, address: Address,
+                    now: Optional[float] = None) -> bool:
+        """Whether a server's retry_after window is still open (expired
+        deadlines are dropped on the way out)."""
+        deadline = self._backoff.get(address)
+        if deadline is None:
+            return False
+        if now is None:
+            now = self._now()
+        if now >= deadline:
+            self._backoff.pop(address, None)
+            return False
+        return True
+
+    def _note_overload(self, address: Address, retry_after: float) -> None:
+        """Park a shed server behind a deadline: its own (jittered, signed)
+        ``retry_after``, escalated by the shared exponential-backoff policy
+        as consecutive sheds accumulate."""
+        streak = self._overload_streak.get(address, 0) + 1
+        self._overload_streak[address] = streak
+        wait = max(float(retry_after), self._backoff_policy.delay(streak))
+        self._backoff[address] = self._now() + wait
+
+    def _clear_backoff(self, address: Address) -> None:
+        """A served response proves recovery: forget the overload history."""
+        self._backoff.pop(address, None)
+        self._overload_streak.pop(address, None)
+
+    def _find_network(self):
+        """Any simulated network reachable through our endpoints (to drive
+        time forward while waiting out a backoff deadline)."""
+        for session in self.sessions.values():
+            network = getattr(session.endpoint, "network", None)
+            if network is not None:
+                return network
+        for ad in self.marketplace.advertisements():
+            network = getattr(ad.endpoint, "network", None)
+            if network is not None:
+                return network
+        return None
+
+    def _await_backoff(self, addresses: Sequence[Address]) -> bool:
+        """Wait out the earliest backoff deadline among ``addresses``.
+
+        This is the no-retry-storm guarantee: instead of re-issuing to a
+        shed server immediately (arriving in the same saturated window as
+        everyone else's retry), the client sits out the server's own
+        jittered ``retry_after``.  Under simulated time the network runs
+        until the deadline (other in-flight legs keep progressing); without
+        a drivable clock the earliest entry is simply released, so routing
+        always makes progress.
+        """
+        entries = [(self._backoff[a], a) for a in addresses
+                   if a in self._backoff]
+        if not entries:
+            return False
+        deadline, address = min(entries)
+        self.stats.retry_storms_avoided += 1
+        network = self._find_network()
+        if network is not None and self._clock is not None:
+            network.run_until(deadline)
+        self._backoff.pop(address, None)
+        return True
 
     # ------------------------------------------------------------------ #
     # Selection
@@ -470,11 +582,14 @@ class MarketplaceClient:
             if trust < self.selection_threshold:
                 continue
             keep.append((trust * (cheapest / max(1, ad.reference_price)), ad))
-        # cold (repeatedly unreachable) servers sink to last resort; among
-        # the rest: score, then cheaper, then demonstrated history over a
-        # stranger, then a stable label order so routing is deterministic.
+        # cold (repeatedly unreachable) servers sink to last resort, then
+        # backed-off (recently shedding) ones — re-ranking on overload;
+        # among the rest: score, then cheaper, then demonstrated history
+        # over a stranger, then a stable label order so routing is
+        # deterministic.
         keep.sort(key=lambda pair: (
             self._cold.get(pair[1].address, 0) >= COLD_AFTER,
+            self._in_backoff(pair[1].address, now),
             -pair[0], pair[1].reference_price,
             -self.reputation.raw_score(pair[1].address, now), pair[1].label,
         ))
@@ -641,7 +756,7 @@ class MarketplaceClient:
                            and now >= entry.deadline)
                 if entry.pending.reply.done():
                     active.remove(entry)
-                    outcome = self._hedge_collect(entry, attempts)
+                    outcome = self._hedge_collect(entry, attempts, tried)
                     if outcome is not None:
                         self._hedge_win(entry, active)
                         return outcome
@@ -657,7 +772,7 @@ class MarketplaceClient:
                     # out keeps the race loop from spinning forever.)
                     active.remove(entry)
                     entry.pending.cancel()
-                    outcome = self._hedge_collect(entry, attempts)
+                    outcome = self._hedge_collect(entry, attempts, tried)
                     if outcome is not None:
                         # resolved on the deadline boundary and verified:
                         # a win is a win
@@ -748,7 +863,7 @@ class MarketplaceClient:
                     race.active.remove(entry)
                     if not entry.pending.reply.done():
                         entry.pending.cancel()
-                    outcome = self._hedge_collect(entry, attempts)
+                    outcome = self._hedge_collect(entry, attempts, race.tried)
                     if outcome is not None:
                         race.leg.outcome = outcome
                         race.leg.winner = entry.ad.address
@@ -889,6 +1004,10 @@ class MarketplaceClient:
                 return None
             ad = ranked[0]
             tried.add(ad.address)
+            if self._in_backoff(ad.address):
+                # a leg re-issued to a shed server waits out its signed
+                # retry_after first (sim time keeps the other legs moving)
+                self._await_backoff([ad.address])
             try:
                 session = self._session_for(ad)
             except SessionError as exc:
@@ -978,9 +1097,17 @@ class MarketplaceClient:
             return  # an overdue leg is waiting to be timed out
         wait_any(replies, timeout=horizon)
 
-    def _hedge_collect(self, entry: _HedgeEntry,
-                       attempts: list[str]) -> Optional[BatchOutcome]:
-        """Verify one resolved leg; None means it lost (and was penalized)."""
+    def _hedge_collect(self, entry: _HedgeEntry, attempts: list[str],
+                       tried: Optional[set[Address]] = None,
+                       ) -> Optional[BatchOutcome]:
+        """Verify one resolved leg; None means it lost (and was penalized).
+
+        With ``tried`` given, an ``Overloaded`` loss *defers* instead of
+        burning the server for the whole race: up to
+        :data:`MAX_OVERLOAD_DEFERS` times per race the shed server leaves
+        ``tried`` again, so the replacement launch can come back to it once
+        its retry_after has been waited out.
+        """
         try:
             outcome = entry.session.collect(entry.pending)
         except (FraudDetected, InvalidResponse, SessionError) as exc:
@@ -992,6 +1119,12 @@ class MarketplaceClient:
                                     else str(exc))
             attempts.append(line)
             self.stats.failovers += 1
+            if tag == "overloaded" and tried is not None:
+                sheds = sum(1 for a in self.last_hedge
+                            if a.address == entry.ad.address
+                            and a.outcome == "overloaded")
+                if sheds <= MAX_OVERLOAD_DEFERS:
+                    tried.discard(entry.ad.address)
             return None
         entry.attempt.outcome = "won"
         if isinstance(outcome, RequestOutcome):  # single-call leg
@@ -1015,6 +1148,7 @@ class MarketplaceClient:
             else:
                 loser.attempt.outcome = "unused"  # arrived, never read
         self._cold.pop(winner.ad.address, None)
+        self._clear_backoff(winner.ad.address)
         self.reputation.record(winner.ad.address, EVENT_SERVED_OK, self._now())
         self.stats.queries += 1
 
@@ -1022,6 +1156,9 @@ class MarketplaceClient:
                exclude: Optional[set[Address]] = None,
                keys: Sequence[bytes] = ()):
         tried: set[Address] = set(exclude or ())
+        #: per-query overload defers: a shed server leaves ``tried`` again
+        #: (after its backoff) until the defer budget is spent
+        deferred: dict[Address, int] = {}
         attempts: list[str] = []
         while True:
             ad = self._next_candidate(tried, want_batch, keys=keys)
@@ -1033,6 +1170,10 @@ class MarketplaceClient:
                               "batch via query_sharded")
                 raise MarketplaceError(detail, attempts)
             tried.add(ad.address)
+            if self._in_backoff(ad.address):
+                # honor the server's retry_after before re-issuing, instead
+                # of joining the synchronized herd hammering it
+                self._await_backoff([ad.address])
             try:
                 session = self._session_for(ad)
             except SessionError as exc:
@@ -1049,11 +1190,19 @@ class MarketplaceClient:
             try:
                 outcome = issue(session)
             except (FraudDetected, InvalidResponse, SessionError) as exc:
-                _, line = self._penalize_failure(ad, exc)
+                tag, line = self._penalize_failure(ad, exc)
                 attempts.append(line)
                 self.stats.failovers += 1
+                if tag == "overloaded":
+                    count = deferred.get(ad.address, 0) + 1
+                    deferred[ad.address] = count
+                    if count <= MAX_OVERLOAD_DEFERS:
+                        # a shed is a "come back later", not a verdict:
+                        # keep the server retryable for this query
+                        tried.discard(ad.address)
                 continue
             self._cold.pop(ad.address, None)
+            self._clear_backoff(ad.address)
             self.reputation.record(ad.address, EVENT_SERVED_OK, self._now())
             self.stats.queries += 1
             return outcome
@@ -1078,6 +1227,17 @@ class MarketplaceClient:
                 tag = "invalid"
             self.reputation.record(ad.address, kind, self._now())
             return tag, f"{ad.label}: {kind} [{exc.report.check}]"
+        if isinstance(exc, ServerOverloaded):
+            # *soft* failure: a signed, honest shed — no session retirement,
+            # no cold streak, no hard reputation slash (the soft-weighted
+            # breadcrumb only re-ranks).  The server's retry_after goes into
+            # the backoff map so re-issues wait it out.
+            self.stats.soft_failovers += 1
+            self.reputation.record(ad.address, EVENT_OVERLOADED, self._now())
+            self._note_overload(ad.address, exc.retry_after)
+            return ("overloaded",
+                    f"{ad.label}: overloaded "
+                    f"(retry in {exc.retry_after:.3f}s)")
         # plain SessionError: a local condition (most commonly this channel's
         # budget is exhausted) — not the server's fault, no reputation event
         return "session-error", f"{ad.label}: session: {exc}"

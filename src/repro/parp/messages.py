@@ -37,6 +37,8 @@ from .constants import (
     HASH_BYTES,
     HEIGHT_BYTES,
     MAX_AMOUNT,
+    MILLIS_BYTES,
+    OVERLOAD_OVERHEAD_BYTES,
     REQUEST_OVERHEAD_BYTES,
     RESPONSE_OVERHEAD_BYTES,
     SIGNATURE_BYTES,
@@ -50,6 +52,7 @@ __all__ = [
     "PARPResponse",
     "BatchRequest",
     "BatchResponse",
+    "OverloadedReply",
     "ResponseStatus",
     "payment_digest",
     "payment_preimage",
@@ -59,6 +62,8 @@ __all__ = [
     "batch_request_digest",
     "response_digest",
     "response_preimage",
+    "overload_digest",
+    "overload_preimage",
 ]
 
 
@@ -70,7 +75,8 @@ class ResponseStatus:
     """Response status byte values."""
 
     OK = 0
-    ERROR = 1  # base-layer RPC error (e.g. unknown method); still signed
+    ERROR = 1       # base-layer RPC error (e.g. unknown method); still signed
+    OVERLOADED = 2  # admission shed: a signed refusal, not a served response
 
 
 def _encode_amount(amount: int) -> bytes:
@@ -150,6 +156,35 @@ def response_digest(alpha: bytes, status: int, m_b: int, amount: int,
     return keccak256(
         response_preimage(alpha, status, m_b, amount, payload, h_req, sig_req)
     )
+
+
+def _encode_millis(value: int, what: str) -> bytes:
+    if not 0 <= value < (1 << (8 * MILLIS_BYTES)):
+        raise MessageError(f"{what} {value} out of u32 fixed-point range")
+    return value.to_bytes(MILLIS_BYTES, "big")
+
+
+def overload_preimage(m_b: int, load_millis: int, retry_after_millis: int,
+                      fee_multiplier_millis: int, h_req: bytes) -> bytes:
+    """Bytes behind σ_ovl — the full Overloaded reply, h_req included, so a
+    shed of request X cannot be replayed as a shed of request Y."""
+    if len(h_req) != HASH_BYTES:
+        raise MessageError("bad h_req length in overload digest")
+    return (
+        bytes([ResponseStatus.OVERLOADED]) + _encode_height(m_b)
+        + _encode_millis(load_millis, "load factor")
+        + _encode_millis(retry_after_millis, "retry-after hint")
+        + _encode_millis(fee_multiplier_millis, "fee multiplier")
+        + h_req
+    )
+
+
+def overload_digest(m_b: int, load_millis: int, retry_after_millis: int,
+                    fee_multiplier_millis: int, h_req: bytes) -> bytes:
+    """``h_ovl = Hash(status, m_B, load, retry_after, fee_mult, h_req)``."""
+    return keccak256(overload_preimage(
+        m_b, load_millis, retry_after_millis, fee_multiplier_millis, h_req,
+    ))
 
 
 # --------------------------------------------------------------------------- #
@@ -440,6 +475,138 @@ class PARPResponse:
     def with_result(self, result: bytes) -> "PARPResponse":
         """A tampered copy (used by tests and the malicious-node examples)."""
         return replace(self, result=result)
+
+
+# --------------------------------------------------------------------------- #
+# Overloaded reply (admission control)
+# --------------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class OverloadedReply:
+    """A signed, typed refusal: the server's admission queue is full.
+
+    Sent *instead of* a served response when a request (or batch) arrives
+    past the admission threshold.  It is deliberately not a
+    :class:`PARPResponse` — the client paid nothing for it (shedding happens
+    before the payment is accepted, so the channel's server-side cumulative
+    amount does not advance) and it proves nothing about state.  What the
+    signature buys is **attribution**: the overload signal demonstrably came
+    from the serving key, so clients can treat it as a soft failover hint
+    without opening a spoofing channel (a MITM can't demote a healthy
+    server by forging "I'm overloaded" replies).
+
+    Fixed-point u32 fields (thousandths):
+
+    * ``load_millis``           — load factor at decision time (1000 = the
+      admission queue is exactly full),
+    * ``retry_after_millis``    — jittered seconds until the queue is
+      expected to have drained enough to admit this request's cost,
+    * ``fee_multiplier_millis`` — the repriced quote (matches the
+      republished :class:`~repro.parp.pricing.RepricedFeeSchedule`).
+    """
+
+    m_b: int
+    load_millis: int
+    retry_after_millis: int
+    fee_multiplier_millis: int
+    h_req: bytes
+    sig_ovl: bytes
+
+    @classmethod
+    def build(cls, m_b: int, load: float, retry_after: float,
+              fee_multiplier: float, h_req: bytes,
+              key: PrivateKey) -> "OverloadedReply":
+        """Quantize, digest, and sign (server side, the shed path)."""
+        limit = (1 << (8 * MILLIS_BYTES)) - 1
+        load_millis = min(limit, max(0, round(load * 1000)))
+        retry_millis = min(limit, max(0, round(retry_after * 1000)))
+        fee_millis = min(limit, max(0, round(fee_multiplier * 1000)))
+        digest = overload_digest(m_b, load_millis, retry_millis, fee_millis,
+                                 h_req)
+        return cls(m_b=m_b, load_millis=load_millis,
+                   retry_after_millis=retry_millis,
+                   fee_multiplier_millis=fee_millis, h_req=h_req,
+                   sig_ovl=key.sign(digest).to_bytes())
+
+    # -- float views ------------------------------------------------------- #
+
+    @property
+    def load(self) -> float:
+        return self.load_millis / 1000.0
+
+    @property
+    def retry_after(self) -> float:
+        return self.retry_after_millis / 1000.0
+
+    @property
+    def fee_multiplier(self) -> float:
+        return self.fee_multiplier_millis / 1000.0
+
+    # -- wire ------------------------------------------------------------- #
+
+    @staticmethod
+    def is_overload_wire(raw: bytes) -> bool:
+        """Cheap discriminator: served responses lead with status OK/ERROR,
+        an overload reply with its own status byte — one branch before the
+        normal decode path, no exception control flow."""
+        return (len(raw) == OVERLOAD_OVERHEAD_BYTES
+                and raw[0] == ResponseStatus.OVERLOADED)
+
+    def encode_wire(self) -> bytes:
+        """118 bytes, all metadata (see OVERLOAD_OVERHEAD_BYTES)."""
+        return (
+            overload_preimage(self.m_b, self.load_millis,
+                              self.retry_after_millis,
+                              self.fee_multiplier_millis, self.h_req)
+            + self.sig_ovl
+        )
+
+    @classmethod
+    def decode_wire(cls, raw: bytes) -> "OverloadedReply":
+        if len(raw) != OVERLOAD_OVERHEAD_BYTES:
+            raise MessageError(
+                f"overload reply must be {OVERLOAD_OVERHEAD_BYTES} bytes, "
+                f"got {len(raw)}"
+            )
+        if raw[0] != ResponseStatus.OVERLOADED:
+            raise MessageError(f"not an overload reply (status {raw[0]})")
+        pos = STATUS_BYTES
+        m_b = int.from_bytes(raw[pos:pos + HEIGHT_BYTES], "big"); pos += HEIGHT_BYTES
+        load = int.from_bytes(raw[pos:pos + MILLIS_BYTES], "big"); pos += MILLIS_BYTES
+        retry = int.from_bytes(raw[pos:pos + MILLIS_BYTES], "big"); pos += MILLIS_BYTES
+        fee = int.from_bytes(raw[pos:pos + MILLIS_BYTES], "big"); pos += MILLIS_BYTES
+        h_req = raw[pos:pos + HASH_BYTES]; pos += HASH_BYTES
+        sig_ovl = raw[pos:pos + SIGNATURE_BYTES]
+        return cls(m_b=m_b, load_millis=load, retry_after_millis=retry,
+                   fee_multiplier_millis=fee, h_req=h_req, sig_ovl=sig_ovl)
+
+    # -- verification ------------------------------------------------------ #
+
+    def digest(self) -> bytes:
+        return overload_digest(self.m_b, self.load_millis,
+                               self.retry_after_millis,
+                               self.fee_multiplier_millis, self.h_req)
+
+    def signer(self) -> Address:
+        try:
+            return recover_address(self.digest(),
+                                   Signature.from_bytes(self.sig_ovl))
+        except SignatureError as exc:
+            raise MessageError(f"bad overload signature: {exc}") from exc
+
+    def verify(self, expected_signer: Optional[Address] = None,
+               expected_h_req: Optional[bytes] = None) -> Address:
+        """Client-side checks: the shed is bound to *our* request and signed
+        by *our* server — anything else is an invalid response, not a soft
+        failure."""
+        if expected_h_req is not None and self.h_req != expected_h_req:
+            raise MessageError("overload reply answers a different request")
+        signer = self.signer()
+        if expected_signer is not None and signer != expected_signer:
+            raise MessageError(
+                "overload reply signed by a key other than the serving node"
+            )
+        return signer
 
 
 # --------------------------------------------------------------------------- #

@@ -26,9 +26,14 @@ __all__ = [
     "FeeSchedule",
     "FlatFeeSchedule",
     "CallBasedFeeSchedule",
+    "RepricedFeeSchedule",
     "DEFAULT_FEE_SCHEDULE",
     "REFERENCE_BASKET",
     "GWEI",
+    "MULTIPLIER_SCALE",
+    "DEFAULT_PRICING_KNEE",
+    "DEFAULT_PRICING_CAP",
+    "load_multiplier",
 ]
 
 GWEI = 10 ** 9
@@ -131,3 +136,80 @@ class CallBasedFeeSchedule(FeeSchedule):
 
 
 DEFAULT_FEE_SCHEDULE = CallBasedFeeSchedule()
+
+
+# --------------------------------------------------------------------------- #
+# Dynamic (load-tracking) pricing
+# --------------------------------------------------------------------------- #
+
+#: fixed-point scale for fee multipliers on the wire (u32 millis): 1000 = 1.0×.
+MULTIPLIER_SCALE = 1000
+
+#: load factor below which quotes stay at the base price — a server under
+#: half load has spare capacity, and repricing it would only churn rankings.
+DEFAULT_PRICING_KNEE = 0.5
+
+#: multiplier ceiling: past total saturation the quote stops climbing (an
+#: unbounded curve would quote prices no client could rationally accept,
+#: which is indistinguishable from refusing service — shedding does that
+#: honestly instead).
+DEFAULT_PRICING_CAP = 4.0
+
+
+def load_multiplier(load: float, knee: float = DEFAULT_PRICING_KNEE,
+                    cap: float = DEFAULT_PRICING_CAP) -> float:
+    """The load→fee-multiplier curve: 1.0 up to ``knee``, then a quadratic
+    ramp reaching ``cap`` at load 1.0 (full admission queue) and clamped
+    there beyond.
+
+    Invariants (property-tested): ``load_multiplier(0) == 1.0`` for any
+    valid knee/cap; monotone nondecreasing in ``load``; bounded in
+    ``[1.0, cap]``.  The quadratic ramp keeps quotes sticky near the knee
+    (small load wobbles don't reshuffle client rankings) while escalating
+    sharply as the queue approaches the shed threshold.
+    """
+    if cap < 1.0:
+        raise ValueError("multiplier cap must be at least 1.0")
+    if not 0.0 <= knee < 1.0:
+        raise ValueError("pricing knee must lie in [0, 1)")
+    if load <= knee:
+        return 1.0
+    ramp = min(1.0, (load - knee) / (1.0 - knee))
+    return 1.0 + (cap - 1.0) * ramp * ramp
+
+
+@dataclass(frozen=True)
+class RepricedFeeSchedule(FeeSchedule):
+    """A base schedule scaled by a server's current load multiplier.
+
+    This is the *quote* a loaded server republishes to the marketplace —
+    fixed-point (``multiplier_millis`` / :data:`MULTIPLIER_SCALE`) so the
+    advertisement and the signed ``Overloaded`` reply carry the identical
+    value.  Enforcement at the server stays on the **base** schedule (the
+    floor): a client that paid an older, cheaper quote is still served —
+    repricing steers *selection*, it never weaponizes the payment check
+    against clients holding stale advertisements.
+    """
+
+    base: FeeSchedule = field(default_factory=lambda: DEFAULT_FEE_SCHEDULE)
+    multiplier_millis: int = MULTIPLIER_SCALE
+
+    def __post_init__(self) -> None:
+        if self.multiplier_millis < MULTIPLIER_SCALE:
+            raise ValueError("repricing cannot quote below the base schedule")
+
+    @property
+    def multiplier(self) -> float:
+        return self.multiplier_millis / MULTIPLIER_SCALE
+
+    def _scale(self, wei: int) -> int:
+        return wei * self.multiplier_millis // MULTIPLIER_SCALE
+
+    def price(self, call: RpcCall) -> int:
+        return self._scale(self.base.price(call))
+
+    def batch_price(self, calls: Sequence[RpcCall]) -> int:
+        return self._scale(self.base.batch_price(calls))
+
+    def describe(self) -> str:
+        return f"{self.base.describe()}×{self.multiplier:.3f}"

@@ -27,9 +27,11 @@ __all__ = [
     "EVENT_FRAUD_SLASHED",
     "EVENT_EQUIVOCATION",
     "EVENT_TIMEOUT",
+    "EVENT_OVERLOADED",
     "EVENT_VERSION_MISMATCH",
     "EVENT_WEIGHTS",
     "EVENT_KINDS",
+    "SOFT_EVENT_KINDS",
     "ReputationEvent",
     "ReputationLedger",
 ]
@@ -42,6 +44,7 @@ EVENT_FRAUD_DETECTED = "fraud_detected"      # locally verified fraud evidence
 EVENT_FRAUD_SLASHED = "fraud_slashed"        # on-chain adjudicated fraud
 EVENT_EQUIVOCATION = "equivocation"          # served conflicting headers
 EVENT_TIMEOUT = "timeout"                    # broke the synchrony bound
+EVENT_OVERLOADED = "overloaded"              # signed, honest shed (soft)
 EVENT_VERSION_MISMATCH = "version_mismatch"  # advertised capability it lacks
 
 # event weights (positive builds trust, negative destroys it)
@@ -53,11 +56,22 @@ EVENT_WEIGHTS = {
     EVENT_FRAUD_SLASHED: -1000.0,
     EVENT_EQUIVOCATION: -100.0,
     EVENT_TIMEOUT: -2.0,
+    EVENT_OVERLOADED: -0.1,
     EVENT_VERSION_MISMATCH: -0.5,
 }
 
 #: every kind the ledger accepts; ``record`` raises on anything else.
 EVENT_KINDS = frozenset(EVENT_WEIGHTS)
+
+#: *Soft* negative kinds: honest, attributable backpressure rather than
+#: misbehavior.  An ``Overloaded`` reply is a **signed refusal** — the server
+#: met the protocol, it just had no capacity — which is categorically
+#: different from a timeout (broke the synchrony bound) or invalid garbage.
+#: Soft evidence may sink a server's ranking, but on its own it can never
+#: ban: a server that sheds when saturated must not be reputationally
+#: punished into a death spiral (shed → score 0 → banned → never re-ranked
+#: back in once it recovers).
+SOFT_EVENT_KINDS = frozenset({EVENT_OVERLOADED})
 
 
 @dataclass(frozen=True)
@@ -80,6 +94,11 @@ class ReputationLedger:
     half_life: float = 86_400.0
     newcomer_score: float = 0.1
     saturation: float = 100.0    # raw score that maps to ~1.0
+    #: score floor for addresses whose only negative evidence is *soft*
+    #: (see :data:`SOFT_EVENT_KINDS`): kept at the marketplace's selection
+    #: threshold so a chronically shedding server sinks to last resort but
+    #: stays selectable once every alternative is worse.
+    soft_floor: float = 0.05
     _events: dict[Address, list[ReputationEvent]] = field(default_factory=dict)
 
     def record(self, subject: Address, kind: str, time: float,
@@ -105,13 +124,26 @@ class ReputationLedger:
             total += event.weight * decay
         return total
 
+    def has_hard_negative(self, subject: Address) -> bool:
+        """Whether any recorded event is *hard* negative evidence —
+        a negative weight whose kind is not in :data:`SOFT_EVENT_KINDS`."""
+        return any(event.weight < 0 and event.kind not in SOFT_EVENT_KINDS
+                   for event in self._events.get(subject, ()))
+
     def score(self, subject: Address, now: float) -> float:
-        """Normalized score in [0, 1]; unknown addresses get newcomer_score."""
+        """Normalized score in [0, 1]; unknown addresses get newcomer_score.
+
+        A non-positive raw score collapses to 0.0 only on hard negative
+        evidence; soft-only histories bottom out at ``soft_floor`` (an
+        overload storm demotes a server to last resort, never to banned).
+        """
         if subject not in self._events:
             return self.newcomer_score
         raw = self.raw_score(subject, now)
         if raw <= 0:
-            return 0.0
+            if self.has_hard_negative(subject):
+                return 0.0
+            return min(self.soft_floor, 1.0)
         return min(1.0, raw / self.saturation)
 
     def rank(self, candidates: list[Address], now: float) -> list[Address]:
@@ -119,5 +151,12 @@ class ReputationLedger:
         return sorted(candidates, key=lambda a: self.score(a, now), reverse=True)
 
     def is_banned(self, subject: Address, now: float) -> bool:
-        """Addresses with non-positive decayed score are avoided entirely."""
-        return subject in self._events and self.raw_score(subject, now) <= 0.0
+        """Non-positive decayed score **plus hard negative evidence**.
+
+        Soft evidence alone (honest shedding) never bans — without the hard
+        requirement, a fresh server's very first ``Overloaded`` reply would
+        take its raw score non-positive and exile it permanently.
+        """
+        return (subject in self._events
+                and self.raw_score(subject, now) <= 0.0
+                and self.has_hard_negative(subject))

@@ -30,6 +30,7 @@ from ..metrics.cache import LRUCache
 from ..node.fullnode import FullNode
 from ..rlp import codec as rlp
 from ..trie.shard import ShardRange
+from .admission import AdmissionConfig, AdmissionController
 from .channel import ChannelError, ServerChannel
 from .constants import BATCH_PROTOCOL_VERSION, DEFAULT_HANDSHAKE_EXPIRY_SECONDS
 from .handshake import Handshake, HandshakeConfirm, OpenChannelReceipt
@@ -37,12 +38,19 @@ from .messages import (
     BatchRequest,
     BatchResponse,
     MessageError,
+    OverloadedReply,
     PARPRequest,
     PARPResponse,
     ResponseStatus,
     RpcCall,
 )
-from .pricing import DEFAULT_FEE_SCHEDULE, FeeSchedule
+from .pricing import (
+    DEFAULT_FEE_SCHEDULE,
+    MULTIPLIER_SCALE,
+    FeeSchedule,
+    RepricedFeeSchedule,
+    load_multiplier,
+)
 from .queries import QueryError, execute_query
 from .sharding import shard_key_of_call
 
@@ -133,6 +141,8 @@ class ServerStats:
     batches_served: int = 0
     batch_queries_served: int = 0
     out_of_range_rejected: int = 0   # state-keyed calls outside the shard
+    admitted: int = 0                # requests/batches past the admission gate
+    shed: int = 0                    # signed Overloaded replies sent instead
     bytes_in: int = 0
     bytes_out: int = 0
     fees_earned: int = 0
@@ -146,7 +156,9 @@ class FullNodeServer:
                  handshake_expiry: float = DEFAULT_HANDSHAKE_EXPIRY_SECONDS,
                  proof_cache_size: int = 2048,
                  clock=None,
-                 shard_range: Optional[ShardRange] = None) -> None:
+                 shard_range: Optional[ShardRange] = None,
+                 admission: Optional[AdmissionConfig | AdmissionController]
+                 = None) -> None:
         self.node = node
         self.key = node.key
         self.fee_schedule = fee_schedule
@@ -167,6 +179,17 @@ class FullNodeServer:
         #: re-reading hot keys between blocks skips the trie walk entirely.
         self.proof_cache: LRUCache = LRUCache(capacity=proof_cache_size)
         self._clock = clock  # callable returning seconds; defaults to chain time
+        #: bounded admission pipeline — opt-in: None keeps the seed behavior
+        #: (accept unbounded work, never shed).  Pass an
+        #: :class:`~repro.parp.admission.AdmissionConfig` (built into a
+        #: controller on the server's clock) or a ready controller.
+        if isinstance(admission, AdmissionConfig):
+            admission = AdmissionController(admission, clock=clock)
+        self.admission: Optional[AdmissionController] = admission
+        #: modeled queueing+service delay of the most recently admitted
+        #: request; the network binding consumes it to schedule the reply
+        #: (so queueing shows up in the latency clients actually measure)
+        self._service_delay = 0.0
         # Multi-client session multiplexing: channel registration and each
         # channel's payment accounting are serialized independently, so N
         # concurrent clients (threads or interleaved sim events) cannot
@@ -332,21 +355,32 @@ class FullNodeServer:
     # ------------------------------------------------------------------ #
 
     def serve_request(self, wire: bytes) -> bytes:
-        """Verify, execute, prove, and sign one PARP request."""
+        """Verify, execute, prove, and sign one PARP request.
+
+        The admission gate sits between decode and verification: shedding
+        must stay cheaper than serving (no signature checks, no billing —
+        the client is *not* charged for a request that was never admitted),
+        and a shed comes back as a signed
+        :class:`~repro.parp.messages.OverloadedReply` instead of a served
+        response.
+        """
         self._bump("bytes_in", len(wire))
-        request = self._verify_request(wire)           # step (B)
+        try:
+            request = PARPRequest.decode_wire(wire)
+        except MessageError as exc:
+            self._bump("requests_rejected")
+            raise ServeError(f"undecodable request: {exc}") from exc
+        shed = self._admission_gate(request.h_req, queries=1)
+        if shed is not None:
+            return shed
+        self._verify_request(request)                  # step (B)
         response = self._execute_and_sign(request)     # step (C)
         out = response.encode_wire()
         self._bump("bytes_out", len(out))
         self._bump("requests_served")
         return out
 
-    def _verify_request(self, wire: bytes) -> PARPRequest:
-        try:
-            request = PARPRequest.decode_wire(wire)
-        except MessageError as exc:
-            self._bump("requests_rejected")
-            raise ServeError(f"undecodable request: {exc}") from exc
+    def _verify_request(self, request: PARPRequest) -> PARPRequest:
         channel, lock = self._channel_and_lock(request.alpha)
         if channel is None:
             self._bump("requests_rejected")
@@ -367,6 +401,49 @@ class FullNodeServer:
             earned = channel.latest_amount - previous
         self._bump("fees_earned", earned)
         return request
+
+    def _admission_gate(self, h_req: bytes, queries: int) -> Optional[bytes]:
+        """Offer a request to the admission controller.
+
+        Returns the encoded, signed ``Overloaded`` reply when the request is
+        shed, or ``None`` when admitted (in which case the modeled queueing
+        delay is parked for the transport to pick up via
+        :meth:`consume_service_delay`).  Servers without an admission
+        controller admit everything, exactly like the seed.
+        """
+        if self.admission is None:
+            return None
+        decision = self.admission.offer(self.admission.cost_of(queries))
+        if decision.admitted:
+            self._bump("admitted")
+            self._service_delay = decision.queue_delay
+            return None
+        self._bump("shed")
+        reply = OverloadedReply.build(
+            m_b=self.node.head_number(),
+            load=decision.load,
+            retry_after=decision.retry_after,
+            fee_multiplier=load_multiplier(
+                decision.load,
+                knee=self.admission.config.pricing_knee,
+                cap=self.admission.config.pricing_cap,
+            ),
+            h_req=h_req,
+            key=self.key,
+        )
+        out = reply.encode_wire()
+        self._bump("bytes_out", len(out))
+        return out
+
+    def consume_service_delay(self) -> float:
+        """Take (and reset) the queueing delay of the last admitted request.
+
+        The transport binding calls this after the handler returns and
+        schedules the reply that far into the future, so admitted work
+        observably queues behind the backlog instead of replying instantly.
+        """
+        delay, self._service_delay = self._service_delay, 0.0
+        return delay
 
     def _execute_and_sign(self, request: PARPRequest) -> PARPResponse:
         call = request.call
@@ -463,6 +540,49 @@ class FullNodeServer:
         return (self.shard_range.lo, self.shard_range.hi,
                 state.shard_commitment(self.shard_range), head)
 
+    def load_info(self) -> dict:
+        """Free probe beside :meth:`shard_info`: the admission snapshot.
+
+        Clients and operators read the current load factor, EWMA queue
+        depth / serve delay, quote multiplier, and admitted/shed counters.
+        Servers without admission control report a permanently idle pipeline.
+        """
+        if self.admission is None:
+            return {
+                "load": 0.0,
+                "queue_depth": 0.0,
+                "ewma_queue_depth": 0.0,
+                "ewma_serve_delay": 0.0,
+                "fee_multiplier": 1.0,
+                "max_queue_cost": float("inf"),
+                "service_time": 0.0,
+                "admitted": self.stats.requests_served,
+                "shed": 0,
+            }
+        return self.admission.snapshot()
+
+    def current_fee_multiplier(self) -> float:
+        """The load→fee multiplier this server would quote right now."""
+        if self.admission is None:
+            return 1.0
+        return self.admission.fee_multiplier()
+
+    def quoted_fee_schedule(self) -> FeeSchedule:
+        """The fee schedule this server *advertises* under current load.
+
+        Repricing is quote-only: enforcement in the serving path stays at the
+        base schedule (its prices are the floor), so a client holding a stale
+        cheaper quote still clears ``min_increment`` — overload never turns
+        honest payments into rejections.  Quotes are re-published through the
+        marketplace so newly ranking clients see (and pay) the surge price.
+        """
+        multiplier = self.current_fee_multiplier()
+        if multiplier <= 1.0:
+            return self.fee_schedule
+        millis = max(MULTIPLIER_SCALE, round(multiplier * MULTIPLIER_SCALE))
+        return RepricedFeeSchedule(base=self.fee_schedule,
+                                   multiplier_millis=millis)
+
     def batch_protocol_version(self) -> int:
         """Free capability probe: the batch sub-protocol this server speaks.
 
@@ -482,7 +602,15 @@ class FullNodeServer:
         once instead of N times.
         """
         self._bump("bytes_in", len(wire))
-        batch = self._verify_batch(wire)               # step (B), once
+        try:
+            batch = BatchRequest.decode_wire(wire)
+        except MessageError as exc:
+            self._bump("requests_rejected")
+            raise ServeError(f"undecodable batch request: {exc}") from exc
+        shed = self._admission_gate(batch.h_req, queries=len(batch.calls))
+        if shed is not None:
+            return shed
+        self._verify_batch(batch)                       # step (B), once
         response = self._execute_batch_and_sign(batch)  # step (C), shared
         out = response.encode_wire()
         self._bump("bytes_out", len(out))
@@ -490,12 +618,7 @@ class FullNodeServer:
         self._bump("batch_queries_served", len(batch.calls))
         return out
 
-    def _verify_batch(self, wire: bytes) -> BatchRequest:
-        try:
-            batch = BatchRequest.decode_wire(wire)
-        except MessageError as exc:
-            self._bump("requests_rejected")
-            raise ServeError(f"undecodable batch request: {exc}") from exc
+    def _verify_batch(self, batch: BatchRequest) -> BatchRequest:
         if batch.version != BATCH_PROTOCOL_VERSION:
             self._bump("requests_rejected")
             raise ServeError(

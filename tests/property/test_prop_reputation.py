@@ -19,6 +19,7 @@ from repro.parp.reputation import (
     EVENT_KINDS,
     EVENT_SERVED_OK,
     EVENT_WEIGHTS,
+    SOFT_EVENT_KINDS,
     ReputationLedger,
 )
 
@@ -94,6 +95,63 @@ class TestSlashDominance:
         assert ledger.raw_score(NODE, now) < 0.0
         assert ledger.score(NODE, now) == 0.0
         assert ledger.is_banned(NODE, now)
+
+
+soft_kinds = st.sampled_from(sorted(SOFT_EVENT_KINDS))
+positive_kinds = st.sampled_from(sorted(
+    k for k in EVENT_KINDS if EVENT_WEIGHTS[k] > 0))
+soft_histories = st.lists(
+    st.tuples(st.one_of(soft_kinds, positive_kinds), times),
+    min_size=1, max_size=60)
+
+
+class TestSoftEvents:
+    """Overload sheds are *soft* negative evidence: they may sink a server's
+    ranking, but with no hard misbehavior on record they must never ban it
+    or push its score below the soft floor — the no-death-spiral property
+    the admission-control PR depends on."""
+
+    @given(soft_histories, times)
+    @settings(max_examples=300)
+    def test_soft_only_history_never_bans(self, evs, now):
+        ledger = ledger_with(evs)
+        assert not ledger.has_hard_negative(NODE)
+        assert not ledger.is_banned(NODE, now)
+
+    @given(soft_histories, times)
+    @settings(max_examples=300)
+    def test_soft_only_score_stays_strictly_positive(self, evs, now):
+        """However many sheds pile up, a soft-only history never scores 0
+        (which would be indistinguishable from banned); once the sheds
+        outweigh the successes, the score pins to exactly the soft floor."""
+        ledger = ledger_with(evs)
+        score = ledger.score(NODE, now)
+        assert 0.0 < score <= 1.0
+        if ledger.raw_score(NODE, now) <= 0.0:
+            assert score == ledger.soft_floor
+
+    @given(soft_histories, times, kinds)
+    @settings(max_examples=200)
+    def test_one_hard_negative_restores_bannability(self, evs, now, kind):
+        """Softness is per-kind, not per-address: mixing in a single hard
+        negative makes the usual ban arithmetic apply again."""
+        if EVENT_WEIGHTS[kind] >= 0 or kind in SOFT_EVENT_KINDS:
+            return
+        ledger = ledger_with(evs)
+        ledger.record(NODE, kind, time=now)
+        assert ledger.has_hard_negative(NODE)
+        if ledger.raw_score(NODE, now) <= 0.0:
+            assert ledger.is_banned(NODE, now)
+            assert ledger.score(NODE, now) == 0.0
+
+    @given(events, times)
+    @settings(max_examples=200)
+    def test_ban_implies_hard_evidence(self, evs, now):
+        """No history whatsoever can produce a ban without at least one
+        hard negative event in it."""
+        ledger = ledger_with(evs)
+        if ledger.is_banned(NODE, now):
+            assert ledger.has_hard_negative(NODE)
 
 
 class TestOrderInvariance:
