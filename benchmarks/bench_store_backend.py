@@ -4,26 +4,39 @@ The persistent backend is what lets a PARP full node hold multi-million-
 account state tries that do not fit in RAM — but it must not give back the
 serving throughput the overlay engine and decoded-node LRU bought.  This
 bench builds the same ``STORE_BENCH_ACCOUNTS``-account secure-trie-shaped
-state on both backends and measures:
+state on both backends (100k default; set ``STORE_BENCH_ACCOUNTS=1000000``
+for the paper-scale million-account run) and measures:
 
 * **bulk insert** — overlay build + one commit (for the disk store that is
   the atomic, checksummed, fsynced batch append);
 * **proof serving** — single-key account proofs, cold (empty decoded-node
   LRU, the disk store actually reading the log) and steady-state (warm LRU,
   where both backends should converge because hot nodes never touch disk);
-* **reopen** — close the log, reopen it (recovery scan rebuilds the offset
-  index), and serve §V-D-verified single and multi proofs bit-identical to
-  the memory run.
+* **churn + compaction** — ``STORE_BENCH_CHURN_ROUNDS`` rounds of account
+  updates grow the log past the live set, then a ``last-K`` compaction pass
+  rewrites it.  Gated: the compacted log is **exactly** the retained live
+  set (magic + pruned record + retained batches, nothing else), retained
+  roots serve byte-identical §V-D (multi)proofs across the pass, and a
+  pruned root raises the typed :class:`PrunedRootError`;
+* **reopen** — the same compacted log opened twice: once footer-free (the
+  recovery scan walks every batch) and once from a clean close (the
+  root-index footer is deserialized in one read).  Gated: the indexed
+  reopen is at least :data:`MIN_INDEXED_REOPEN_SPEEDUP`× faster at paper
+  scale (a smaller floor below it, where the scan is already cheap).
 
-Correctness is gated (roots and proof bytes identical across backends and
-across the close/reopen boundary); throughput numbers are reported to
-``BENCH_store.json`` (uploaded by CI like ``BENCH_trie.json``) — absolute
-disk rates are machine-dependent, so they are tracked, not gated.
+Correctness is gated; throughput numbers are reported to
+``BENCH_store.json`` (uploaded by CI like ``BENCH_trie.json``).  The
+machine-independent *ratios* — indexed-reopen speedup and compaction shrink
+— are additionally checked against the committed baseline
+(``benchmarks/baselines/BENCH_store_baseline.json``): a drop of more than
+30% below the recorded values fails the bench.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import pathlib
 import random
 import tempfile
 import time
@@ -31,7 +44,15 @@ import time
 from repro.chain.account import Account
 from repro.metrics import render_table
 from repro.metrics.cache import LRUCache
-from repro.storage import AppendOnlyFileStore, MemoryNodeStore
+from repro.storage import (
+    MAGIC,
+    AppendOnlyFileStore,
+    MemoryNodeStore,
+    PrunedRootError,
+    RetentionPolicy,
+    compact_node_store,
+    live_state_nodes,
+)
 from repro.trie import (
     DEFAULT_NODE_CACHE_CAPACITY,
     MerklePatriciaTrie,
@@ -44,12 +65,31 @@ from repro.trie import (
 from .reporting import add_report, write_json_series
 
 #: accounts in the bulk-insert phase (paper-scale default 100k; CI shrinks
-#: it via the environment, like TRIE_BENCH_ACCOUNTS)
+#: it via the environment, like TRIE_BENCH_ACCOUNTS; 1M is the overnight
+#: million-account configuration)
 ACCOUNTS = int(os.environ.get("STORE_BENCH_ACCOUNTS", "100000"))
 #: single-key proofs measured per backend and temperature
 PROOF_REQUESTS = min(ACCOUNTS, 2000)
 #: keys per multiproof batch served from the reopened store
 MULTIPROOF_BATCH = 32
+#: churn rounds before compaction; each updates 1/20 of the accounts
+CHURN_ROUNDS = int(os.environ.get("STORE_BENCH_CHURN_ROUNDS", "8"))
+#: retention window the compaction pass keeps (the acceptance scenario's K)
+RETAIN_K = 4
+#: scale at which the paper-scale gates apply
+GATED_ACCOUNTS = 100_000
+#: indexed reopen must beat the scan by this factor at paper scale …
+MIN_INDEXED_REOPEN_SPEEDUP = 10.0
+#: … and by this factor at CI scale, where the scan is already fast
+MIN_INDEXED_REOPEN_SPEEDUP_SMALL = 3.0
+#: allowed drop below the committed baseline ratios before failing
+REGRESSION_TOLERANCE = 0.30
+BASELINE_PATH = (pathlib.Path(__file__).parent / "baselines"
+                 / "BENCH_store_baseline.json")
+
+#: on-log framing: per-batch marker+count+root+crc, per-node hash+len
+_BATCH_OVERHEAD = 1 + 4 + 32 + 4
+_NODE_OVERHEAD = 32 + 4
 
 
 def _account_items(count: int) -> dict[bytes, bytes]:
@@ -66,6 +106,22 @@ def _measure_proofs(trie: MerklePatriciaTrie, probes: list[bytes]) -> float:
     for key in probes:
         generate_proof(trie, key)
     return len(probes) / (time.perf_counter() - start)
+
+
+def _expected_compacted_bytes(store: AppendOnlyFileStore,
+                              retained: list[bytes],
+                              pruned_count: int) -> int:
+    """Byte-exact size of the log compaction must produce: the retained
+    roots' live set and the on-log framing — nothing else."""
+    size = len(MAGIC)
+    if pruned_count:
+        size += 1 + 4 + 32 * pruned_count + 4  # the 0xB5 pruned record
+    seen: set[bytes] = set()
+    for root in retained:
+        size += _BATCH_OVERHEAD
+        size += sum(_NODE_OVERHEAD + len(raw)
+                    for _, raw in live_state_nodes(store, root, seen))
+    return size
 
 
 def test_store_backend(benchmark):
@@ -97,13 +153,40 @@ def test_store_backend(benchmark):
         # -- proof serving: steady state (warm LRU) --------------------- #
         memory_warm = _measure_proofs(memory, probes)
         disk_warm = _measure_proofs(disk, probes)
-        store.close()
 
-        # -- close / reopen: recovery scan ------------------------------ #
+        # -- churn: grow the log past its live set ----------------------- #
+        # every round rewrites 1/20 of the accounts (new balances), so the
+        # log accretes one superseded path per touched account per round —
+        # the garbage a long-running node accumulates and compaction exists
+        # to reclaim
+        churn_keys = rng.sample(keys, k=max(len(keys) // 20, 1))
+        start = time.perf_counter()
+        for round_no in range(CHURN_ROUNDS):
+            updates = {
+                key: Account(
+                    nonce=round_no + 1,
+                    balance=10 ** 18 + round_no,
+                ).encode()
+                for key in churn_keys
+            }
+            items.update(updates)
+            disk.update(updates)
+            disk.commit()
+            memory.update(updates)
+            memory.commit()
+        churn_s = time.perf_counter() - start
+        head_root = store.last_root
+        assert head_root == memory.root_hash
+        pre_compact_bytes = store.log_bytes()
+        first_root = store.root_history[0]
+        store.close(write_index=False)
+
+        # -- reopen the full log: the recovery scan --------------------- #
         start = time.perf_counter()
         reopened = AppendOnlyFileStore(log_path)
         recovery_s = time.perf_counter() - start
-        assert reopened.last_root == memory_root
+        assert not reopened.opened_indexed
+        assert reopened.last_root == head_root
 
         # -- proof serving: cold ---------------------------------------- #
         # memory: fresh decoded-node LRU over the same store; disk: the
@@ -122,20 +205,86 @@ def test_store_backend(benchmark):
         for key in sample:
             proof = generate_proof(revived, key)
             assert proof == generate_proof(memory, key)
-            assert verify_proof(memory_root, key, proof) == items[key]
+            assert verify_proof(head_root, key, proof) == items[key]
         batch = sample[:MULTIPROOF_BATCH]
         pool = generate_multiproof(revived, batch)
         assert pool == generate_multiproof(memory, batch)
-        answers = verify_multiproof(memory_root, batch, pool)
+        answers = verify_multiproof(head_root, batch, pool)
         assert all(answers[key] == items[key] for key in batch)
-        reopened.close()
+
+        # -- compaction: rewrite down to the last-K live set ------------- #
+        policy = RetentionPolicy.last(RETAIN_K)
+        retained = policy.retained_roots(reopened.root_history)
+        pruned_count = len(set(reopened.root_history) - set(retained))
+        expected_bytes = _expected_compacted_bytes(
+            reopened, retained, pruned_count)
+        before_proofs = [generate_proof(revived, key) for key in sample]
+        before_pool = generate_multiproof(revived, batch)
+        start = time.perf_counter()
+        report = compact_node_store(reopened, policy)
+        compact_s = time.perf_counter() - start
+        assert report.bytes_before == pre_compact_bytes
+        assert report.bytes_after < report.bytes_before, (
+            "compaction failed to shrink a churned log"
+        )
+        # the gate of the acceptance scenario: the compacted log holds the
+        # live set of the retained roots and its framing — byte-exact
+        assert report.bytes_after == expected_bytes, (
+            f"compacted log is {report.bytes_after} bytes, expected the "
+            f"live set to pack into exactly {expected_bytes}"
+        )
+        # §V-D service is untouched inside the retention window …
+        post = MerklePatriciaTrie(reopened, reopened.last_root)
+        for key, before in zip(sample, before_proofs):
+            assert generate_proof(post, key) == before
+        assert generate_multiproof(post, batch) == before_pool
+        # … and typed-refused outside it
+        try:
+            MerklePatriciaTrie(reopened, first_root)
+        except PrunedRootError:
+            pass
+        else:
+            raise AssertionError(
+                "a pruned root must raise PrunedRootError, not serve")
+
+        # -- reopen the compacted log: scan vs root-index footer --------- #
+        reopened.close(write_index=False)
+        start = time.perf_counter()
+        scan_store = AppendOnlyFileStore(log_path)
+        scan_reopen_s = time.perf_counter() - start
+        assert not scan_store.opened_indexed
+        assert scan_store.last_root == head_root
+        scan_index_size = len(scan_store._index)
+        scan_store.close()  # clean close: writes the footer
+
+        start = time.perf_counter()
+        indexed_store = AppendOnlyFileStore(log_path)
+        indexed_reopen_s = time.perf_counter() - start
+        assert indexed_store.opened_indexed
+        assert indexed_store.last_root == head_root
+        assert len(indexed_store._index) == scan_index_size
+        compacted_bytes = indexed_store.log_bytes()
+        indexed_store.close()
 
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    reopen_speedup = scan_reopen_s / indexed_reopen_s
+    shrink_ratio = report.shrink_ratio
+    if ACCOUNTS >= GATED_ACCOUNTS:
+        assert reopen_speedup >= MIN_INDEXED_REOPEN_SPEEDUP, (
+            f"indexed reopen only {reopen_speedup:.1f}x faster than the "
+            f"scan (gate: {MIN_INDEXED_REOPEN_SPEEDUP}x at paper scale)"
+        )
+    elif ACCOUNTS >= 20_000:
+        assert reopen_speedup >= MIN_INDEXED_REOPEN_SPEEDUP_SMALL, (
+            f"indexed reopen only {reopen_speedup:.1f}x faster than the "
+            f"scan (gate: {MIN_INDEXED_REOPEN_SPEEDUP_SMALL}x at CI scale)"
+        )
 
     payload = {
         "accounts": ACCOUNTS,
         "proof_requests": PROOF_REQUESTS,
-        "state_root": memory_root.hex(),
+        "state_root": head_root.hex(),
         "bulk_insert": {
             "memory_keys_per_sec": round(ACCOUNTS / memory_insert_s, 1),
             "disk_keys_per_sec": round(ACCOUNTS / disk_insert_s, 1),
@@ -148,9 +297,28 @@ def test_store_backend(benchmark):
             "disk_cold_per_sec": round(disk_cold, 1),
             "warm_ratio_disk_vs_memory": round(disk_warm / memory_warm, 3),
         },
+        "churn": {
+            "rounds": CHURN_ROUNDS,
+            "accounts_per_round": len(churn_keys),
+            "seconds": round(churn_s, 3),
+            "log_bytes_after_churn": pre_compact_bytes,
+        },
+        "compaction": {
+            "retain_k": RETAIN_K,
+            "bytes_before": report.bytes_before,
+            "bytes_after": report.bytes_after,
+            "shrink_ratio": round(shrink_ratio, 3),
+            "live_nodes": report.live_nodes,
+            "pruned_roots": len(report.pruned_roots),
+            "seconds": round(compact_s, 3),
+        },
         "reopen": {
             "recovery_seconds": round(recovery_s, 3),
             "log_bytes": log_bytes,
+            "scan_seconds": round(scan_reopen_s, 4),
+            "indexed_seconds": round(indexed_reopen_s, 4),
+            "indexed_speedup": round(reopen_speedup, 2),
+            "compacted_log_bytes": compacted_bytes,
             "verified_single_proofs": len(sample),
             "verified_multiproof_batch": len(batch),
         },
@@ -178,8 +346,43 @@ def test_store_backend(benchmark):
                 ("reopen (recovery scan)",
                  "—",
                  f"{recovery_s * 1000:,.0f} ms "
-                 f"({log_bytes / 2**20:.1f} MiB log)",
+                 f"({pre_compact_bytes / 2**20:.1f} MiB log)",
+                 "—"),
+                (f"compaction (last-{RETAIN_K})",
+                 "—",
+                 f"{report.bytes_before / 2**20:.1f} → "
+                 f"{report.bytes_after / 2**20:.1f} MiB "
+                 f"in {compact_s * 1000:,.0f} ms "
+                 f"({shrink_ratio:.0%} reclaimed)",
+                 "—"),
+                ("reopen compacted: scan vs footer",
+                 "—",
+                 f"{scan_reopen_s * 1000:,.0f} ms vs "
+                 f"{indexed_reopen_s * 1000:,.0f} ms "
+                 f"({reopen_speedup:.1f}x)",
                  "—"),
             ],
         ),
+    )
+
+    # -- regression check against the committed baseline ------------------- #
+    # ratios are machine-independent; absolute ms are not.  Below CI scale
+    # the scan is so cheap that the footer's edge shrinks legitimately, so
+    # quick iteration runs are not held to the committed floors.
+    if ACCOUNTS < 20_000:
+        return
+    baseline = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+    floor = (baseline["indexed_reopen"]["speedup"]
+             * (1 - REGRESSION_TOLERANCE))
+    assert reopen_speedup >= floor, (
+        f"indexed-reopen speedup regressed: {reopen_speedup:.1f}x vs "
+        f"committed baseline {baseline['indexed_reopen']['speedup']}x "
+        f"(floor {floor:.1f}x)"
+    )
+    shrink_floor = (baseline["compaction"]["shrink_ratio"]
+                    * (1 - REGRESSION_TOLERANCE))
+    assert shrink_ratio >= shrink_floor, (
+        f"compaction shrink regressed: {shrink_ratio:.2f} of the churned "
+        f"log reclaimed vs committed baseline "
+        f"{baseline['compaction']['shrink_ratio']} (floor {shrink_floor:.2f})"
     )

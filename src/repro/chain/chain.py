@@ -21,7 +21,18 @@ from typing import Callable, Optional, Protocol, Union
 
 from ..crypto.keys import Address
 from ..storage.blocklog import BlockLog
-from ..storage.nodestore import MemoryNodeStore, NodeStore, as_node_store
+from ..storage.compaction import (
+    CompactionReport,
+    RetentionPolicy,
+    RetentionSpec,
+    compact_node_store,
+)
+from ..storage.nodestore import (
+    MemoryNodeStore,
+    NodeStore,
+    PrunedRootError,
+    as_node_store,
+)
 from ..trie.mpt import EMPTY_TRIE_ROOT
 from .block import Block, build_receipt_trie, build_transaction_trie
 from .genesis import GenesisConfig, make_genesis_block
@@ -56,12 +67,21 @@ class Blockchain:
                  executor: Optional[TransactionExecutorProtocol] = None,
                  block_context_factory: Optional[Callable] = None,
                  db: Union[None, dict, NodeStore, str] = None,
-                 block_log: Union[None, BlockLog, str, os.PathLike] = None) -> None:
+                 block_log: Union[None, BlockLog, str, os.PathLike] = None,
+                 retention: RetentionSpec = None) -> None:
         self.config = genesis
         #: the node store every state trie (and historical view) reads
         #: through — in-memory by default, disk-backed when the operator
         #: passes an AppendOnlyFileStore / path (``--state-dir``).
-        self.db: NodeStore = as_node_store(db)
+        self.db: NodeStore = as_node_store(db, retention=retention)
+        #: how much history this chain keeps provable — explicit argument
+        #: first, else whatever policy the store was opened with (so
+        #: ``Devnet(state_dir=…, retention=…)`` configures both layers in
+        #: one place), else archive
+        self.retention: RetentionPolicy = (
+            RetentionPolicy.parse(retention) if retention is not None
+            else getattr(self.db, "retention", RetentionPolicy.archive())
+        )
         #: the sibling chain-metadata log (headers/bodies/receipts).  When
         #: present, every sealed block lands in it right after the state
         #: commit, and a populated pair reattaches instead of refusing.
@@ -90,6 +110,11 @@ class Blockchain:
         self.mempool: list[Transaction] = []
         self.executor = executor
         self._block_context_factory = block_context_factory
+        #: log size after the last compaction — the growth reference for
+        #: the automatic trigger (see RetentionPolicy.compact_growth)
+        self._compact_baseline = (
+            self.db.log_bytes() if hasattr(self.db, "log_bytes") else 0
+        )
 
     def _open_chain(self) -> None:
         """Seal a fresh genesis, or reattach over persisted history."""
@@ -97,6 +122,8 @@ class Blockchain:
         self._blocks_by_hash: dict[bytes, Block] = {}
         self._tx_index: dict[bytes, tuple[int, int]] = {}
         self._receipts_by_tx: dict[bytes, Receipt] = {}
+        #: number of ``self._blocks[0]`` — 0 unless pruning dropped history
+        self._first_number = 0
         if self.block_log is not None and self.block_log.blocks:
             self._reattach(list(self.block_log.blocks))
             return
@@ -114,6 +141,7 @@ class Blockchain:
             )
         self.state = StateDB(self.db)
         genesis_block = make_genesis_block(self.config, self.state)
+        self._genesis_hash = genesis_block.hash
         if self.block_log is not None:
             # Persist genesis like any sealed block — state first (one
             # durable batch), then the log record — so the invariant "every
@@ -134,12 +162,17 @@ class Blockchain:
         of served as unprovable history.
         """
         expected = make_genesis_block(self.config, StateDB(MemoryNodeStore()))
-        if blocks[0].hash != expected.hash:
+        # a pruned log no longer holds the genesis record, but its anchor
+        # carries the genesis hash forward — chain identity stays checkable
+        logged_genesis = self.block_log.genesis_hash
+        if logged_genesis != expected.hash:
             raise ChainError(
-                f"persisted chain starts at {blocks[0].hash.hex()[:16]}… but "
-                f"this genesis config seals {expected.hash.hex()[:16]}…; the "
-                "state dir belongs to a different chain"
+                f"persisted chain starts at "
+                f"{(logged_genesis or b'').hex()[:16]}… but this genesis "
+                f"config seals {expected.hash.hex()[:16]}…; the state dir "
+                "belongs to a different chain"
             )
+        self._genesis_hash = expected.hash
         dropped = 0
         while blocks and not self._root_resolvable(blocks[-1].header.state_root):
             blocks.pop()
@@ -151,6 +184,7 @@ class Blockchain:
             )
         if dropped:
             self.block_log.rewind(dropped)
+        self._first_number = blocks[0].number
         self.state = StateDB(self.db, blocks[-1].header.state_root)
         for block in blocks:
             self._index_block(block)
@@ -185,9 +219,15 @@ class Blockchain:
     def height(self) -> int:
         return self.head.number
 
+    @property
+    def first_retained_number(self) -> int:
+        """Lowest height this node still holds (0 unless pruned)."""
+        return self._first_number
+
     def get_block_by_number(self, number: int) -> Optional[Block]:
-        if 0 <= number < len(self._blocks):
-            return self._blocks[number]
+        index = number - self._first_number
+        if 0 <= index < len(self._blocks):
+            return self._blocks[index]
         return None
 
     def get_block_by_hash(self, block_hash: bytes) -> Optional[Block]:
@@ -202,9 +242,21 @@ class Blockchain:
         return block.header if block else None
 
     def state_at(self, number: int) -> StateDB:
-        """Historical state view at the end of block ``number``."""
+        """Historical state view at the end of block ``number``.
+
+        Heights below the retention window raise the typed
+        :class:`PrunedRootError` — the node *had* that history and chose
+        to drop it, which callers (and billing light clients) treat very
+        differently from a height that never existed.
+        """
         block = self.get_block_by_number(number)
         if block is None:
+            if 0 <= number < self._first_number:
+                raise PrunedRootError(
+                    f"block {number} is below the retention window (this "
+                    f"node serves heights {self._first_number}"
+                    f"..{self.height})"
+                )
             raise ChainError(f"no block at height {number}")
         return self.state.at_root(block.header.state_root)
 
@@ -214,7 +266,7 @@ class Blockchain:
         if location is None:
             return None
         number, index = location
-        return self._blocks[number], index
+        return self.get_block_by_number(number), index
 
     def get_receipt(self, tx_hash: bytes) -> Optional[Receipt]:
         return self._receipts_by_tx.get(tx_hash)
@@ -360,6 +412,77 @@ class Blockchain:
             # chain un-extended rather than ahead of the durable history.
             self.block_log.append(block)
         self._index_block(block)
+        self._maybe_autocompact()
+
+    # ------------------------------------------------------------------ #
+    # Compaction / pruning
+    # ------------------------------------------------------------------ #
+
+    def _maybe_autocompact(self) -> None:
+        """Compact after sealing once the log outgrows the policy's trigger."""
+        policy = self.retention
+        if not policy.prunes or not hasattr(self.db, "log_bytes"):
+            return
+        size = self.db.log_bytes()
+        if size < policy.min_compact_bytes:
+            return
+        if size < policy.compact_growth * max(1, self._compact_baseline):
+            return
+        self.compact()
+
+    def compact(self, retention: RetentionSpec = None,
+                *, force: bool = False) -> Optional[CompactionReport]:
+        """Prune history past the retention window and compact the store.
+
+        Ordering is the crash-safety contract: ``blocks.log`` is pruned
+        *first*, then ``nodes.log`` is compacted — a crash between the two
+        steps leaves the node store a superset of what the block log
+        references (reattach works, the next compaction reclaims the
+        rest), never a block log demanding a pruned root.  Both rewrites
+        are individually atomic (write-beside + rename).
+
+        Returns the store's :class:`CompactionReport`, or None when the
+        backing store has no log to compact (memory backend) and ``force``
+        is False.  With an archive policy the pass keeps every block's
+        root resolvable — it only rewrites the log (reclaiming nothing in
+        the normal case) — so archive chains skip it unless forced.
+        """
+        policy = (RetentionPolicy.parse(retention) if retention is not None
+                  else self.retention)
+        if not hasattr(self.db, "compact"):
+            if force:
+                raise ChainError(
+                    "only disk-backed node stores can compact "
+                    f"(this chain runs on {type(self.db).__name__})")
+            return None
+        if not policy.prunes and not force:
+            return None
+        keep_from = self._first_number
+        if policy.prunes:
+            keep_from = max(self._first_number, self.height - policy.k + 1)
+        retained_blocks = self._blocks[keep_from - self._first_number:]
+        roots: list[bytes] = []
+        seen_roots: set[bytes] = set()
+        for block in retained_blocks:
+            root = block.header.state_root
+            if root not in seen_roots:
+                seen_roots.add(root)
+                roots.append(root)
+        if keep_from > self._first_number:
+            if self.block_log is not None:
+                self.block_log.prune_to(keep_from)
+            dropped = self._blocks[:keep_from - self._first_number]
+            self._blocks = retained_blocks
+            for block in dropped:
+                self._blocks_by_hash.pop(block.hash, None)
+                for tx in block.transactions:
+                    self._tx_index.pop(tx.hash, None)
+                    self._receipts_by_tx.pop(tx.hash, None)
+            self._first_number = keep_from
+        report = compact_node_store(self.db, retain_roots=roots)
+        if hasattr(self.db, "log_bytes"):
+            self._compact_baseline = self.db.log_bytes()
+        return report
 
     def __repr__(self) -> str:
         return f"Blockchain(height={self.height}, mempool={len(self.mempool)})"

@@ -89,8 +89,9 @@ class StateDB:
 
     def __init__(self, db: Union[None, dict, NodeStore, str] = None,
                  root_hash: bytes = EMPTY_TRIE_ROOT,
-                 node_cache: Optional[LRUCache] = None) -> None:
-        self._db: NodeStore = as_node_store(db)
+                 node_cache: Optional[LRUCache] = None,
+                 retention=None) -> None:
+        self._db: NodeStore = as_node_store(db, retention=retention)
         self._trie = MerklePatriciaTrie(self._db, root_hash,
                                         node_cache=node_cache)
         #: per-address dirty storage tries: mutated since the last commit,
@@ -158,6 +159,20 @@ class StateDB:
         if flush_store:
             self._db.commit(root)
         return root
+
+    def compact(self, retention=None):
+        """Durably commit, then compact the backing store down to the
+        retention policy's live set (see
+        :func:`~repro.storage.compaction.compact_node_store`).
+
+        Returns the :class:`~repro.storage.compaction.CompactionReport`.
+        Standalone-StateDB convenience — a chain-owned state is compacted
+        through ``Blockchain.compact``, which also prunes the block log.
+        """
+        from ..storage.compaction import compact_node_store
+
+        self.commit()
+        return compact_node_store(self._db, retention)
 
     def get_account(self, address: Address) -> Account:
         """Fetch an account; absent addresses read as the empty account.

@@ -12,38 +12,68 @@ import sys
 __all__ = ["main"]
 
 
-def _demo_quickstart(state_dir: str | None = None) -> int:
+def _demo_quickstart(state_dir: str | None = None,
+                     retain: str | None = None) -> int:
     from .chain import GenesisConfig, UnsignedTransaction
     from .contracts import DEPOSIT_MODULE_ADDRESS
     from .crypto import PrivateKey
-    from .lightclient import HeaderSyncer
+    from .lightclient import Checkpoint, CheckpointSyncer, HeaderSyncer
     from .node import Devnet, FullNode
     from .parp import FullNodeServer, LightClientSession, MIN_FULL_NODE_DEPOSIT
 
     from .chain.chain import ChainError
+    from .storage import RetentionPolicy, StoreError
 
     fn_key = PrivateKey.from_seed("demo:fn")
     lc_key = PrivateKey.from_seed("demo:lc")
     alice = PrivateKey.from_seed("demo:alice")
     try:
+        retention = RetentionPolicy.parse(retain)
+    except ValueError as exc:
+        print(f"bad --retain value: {exc}", file=sys.stderr)
+        return 2
+    try:
         net = Devnet(GenesisConfig(allocations={
             fn_key.address: 100 * 10 ** 18,
             lc_key.address: 10 * 10 ** 18,
             alice.address: 2 * 10 ** 18,
-        }), state_dir=state_dir)
-    except ChainError as exc:
+        }), state_dir=state_dir, retention=retention)
+    except (ChainError, StoreError) as exc:
+        # a StoreError here is most often the paired-logs refusal: the
+        # state dir holds only one of nodes.log/blocks.log
         print(f"cannot start the demo chain: {exc}", file=sys.stderr)
         return 1
     if state_dir is not None:
-        print(f"full node state is disk-backed: {net.node_store.path}")
+        print(f"full node state is disk-backed: {net.node_store.path} "
+              f"(retention: {retention.describe()})")
+        if net.node_store.opened_indexed:
+            print("reopen used the root-index footer (no log scan)")
         if net.chain.reattached:
             print(f"reattached to persisted chain at height "
                   f"{net.chain.height} "
                   f"(head {net.chain.head.hash.hex()[:16]}…)")
-    net.execute(fn_key, DEPOSIT_MODULE_ADDRESS, "deposit",
-                value=MIN_FULL_NODE_DEPOSIT)
+    # deposit only once per operator: re-runs over the same --state-dir
+    # reattach to a chain where the stake is already locked, and blindly
+    # re-depositing would drain the demo account after a few runs
+    staked = net.call_view(DEPOSIT_MODULE_ADDRESS, "is_eligible",
+                           [fn_key.address])
+    if not staked:
+        net.execute(fn_key, DEPOSIT_MODULE_ADDRESS, "deposit",
+                    value=MIN_FULL_NODE_DEPOSIT)
     server = FullNodeServer(FullNode(net.chain, key=fn_key))
-    session = LightClientSession(lc_key, server, HeaderSyncer([server]))
+    first = net.chain.first_retained_number
+    if first > 0:
+        # a pruned node no longer serves headers below its retention
+        # window, so the client bootstraps from a trusted checkpoint at
+        # the window's base (normally handed out of band — an explorer,
+        # the operator's config) instead of walking up from genesis
+        anchor = net.chain.get_block_by_number(first).header
+        syncer = CheckpointSyncer([server], Checkpoint.of(anchor))
+        print(f"pruned node serves heights {first}..{net.chain.height}; "
+              f"light client checkpoint-syncs from block {first}")
+    else:
+        syncer = HeaderSyncer([server])
+    session = LightClientSession(lc_key, server, syncer)
     alpha = session.connect(budget=10 ** 15)
     print(f"channel open: α = {alpha.hex()}")
     balance = session.get_balance(alice.address)
@@ -62,6 +92,12 @@ def _demo_quickstart(state_dir: str | None = None) -> int:
           f"{session.channel.requests_sent} requests")
     if state_dir is not None:
         store = net.node_store
+        if retention.prunes:
+            report = net.chain.compact()
+            print(f"compacted to the last {retention.k} roots: "
+                  f"{report.bytes_before} → {report.bytes_after} bytes "
+                  f"({report.live_nodes} live nodes, "
+                  f"{len(report.pruned_roots)} roots pruned)")
         root = net.chain.head.header.state_root
         net.close()
         print(f"state persisted: {store.stats.batches_committed} commit "
@@ -142,9 +178,17 @@ def main(argv: list[str] | None = None) -> int:
         help="persist the full node's world state to DIR (append-only, "
              "crash-safe node store) instead of keeping it in memory",
     )
+    parser.add_argument(
+        "--retain", default=None, metavar="POLICY",
+        help="retention policy for --state-dir: 'archive' (default, keep "
+             "every historical root provable) or an integer K / 'last:K' "
+             "(prune to the newest K state roots at compaction)",
+    )
     args = parser.parse_args(argv)
+    if args.retain is not None and args.state_dir is None:
+        parser.error("--retain needs --state-dir (memory stores never prune)")
     if args.scenario == "quickstart":
-        return _demo_quickstart(state_dir=args.state_dir)
+        return _demo_quickstart(state_dir=args.state_dir, retain=args.retain)
     if args.state_dir is not None:
         parser.error("--state-dir is only supported by the quickstart demo")
     handlers = {

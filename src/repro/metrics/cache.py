@@ -99,6 +99,17 @@ class LRUCache(Generic[V]):
             self.put(key, entry)
         return entry
 
+    def discard(self, key: Hashable) -> None:
+        """Drop ``key`` if present (no-op otherwise, no counter effects).
+
+        The invalidation hook for callers whose backing data can retreat —
+        a disk store truncating a torn append or compacting away pruned
+        nodes must be able to evict exactly the stale entries without
+        flushing the whole cache.
+        """
+        with self._lock:
+            self._entries.pop(key, None)
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()

@@ -24,7 +24,7 @@ from ..contracts.channels import ChannelsModule
 from ..contracts.deposit import DepositModule
 from ..contracts.fraud import FraudModule
 from ..crypto.keys import Address, PrivateKey
-from ..storage import NodeStore, open_block_log, open_node_store
+from ..storage import NodeStore, open_state_dir
 from ..vm.abi import encode_call
 from ..vm.runtime import (
     BlockContext,
@@ -49,21 +49,21 @@ class Devnet:
     :class:`~repro.storage.AppendOnlyFileStore` under that directory) so a
     full node can hold tries bigger than RAM and survive restarts; ``db``
     lets callers inject any prebuilt :class:`~repro.storage.NodeStore`.
+    ``retention`` sets the pruning policy for a disk-backed net —
+    ``"archive"`` (default), an integer K, ``"last:K"``, or a
+    :class:`~repro.storage.RetentionPolicy` — and reaches both the store
+    and the chain's auto-compaction trigger.
     """
 
     def __init__(self, genesis: Optional[GenesisConfig] = None,
                  state_dir: Union[None, str, os.PathLike] = None,
-                 db: Optional[NodeStore] = None) -> None:
+                 db: Optional[NodeStore] = None,
+                 retention=None) -> None:
         if state_dir is not None and db is not None:
             raise ValueError("pass either state_dir or db, not both")
         block_log = None
         if state_dir is not None:
-            db = open_node_store(state_dir)
-            try:
-                block_log = open_block_log(state_dir)
-            except Exception:
-                db.close()  # don't leak the node-store handle
-                raise
+            db, block_log = open_state_dir(state_dir, retention=retention)
         self.registry = ContractRegistry()
         self.deposit_module = DepositModule(
             DEPOSIT_MODULE_ADDRESS,
@@ -85,7 +85,8 @@ class Devnet:
         try:
             self.chain = Blockchain(genesis or GenesisConfig(),
                                     executor=self.executor, db=db,
-                                    block_log=block_log)
+                                    block_log=block_log,
+                                    retention=retention)
         except Exception:
             if state_dir is not None and db is not None:
                 # we opened them; don't leak the log handles (close() is
@@ -107,6 +108,11 @@ class Devnet:
         devnet runs over a ``state_dir``, the sibling block log (flushes
         nothing: commits are per-block)."""
         self.chain.close()
+
+    def compact(self):
+        """Prune + compact this net's persistent logs now (see
+        :meth:`Blockchain.compact`); returns the compaction report."""
+        return self.chain.compact(force=True)
 
     # ------------------------------------------------------------------ #
     # Transactions

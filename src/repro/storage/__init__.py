@@ -7,17 +7,43 @@ checksummed commit batches.  :class:`BlockLog` is the sibling log that
 persists headers/bodies/receipts so a full node can restart at its head.
 ``as_node_store`` normalizes what callers pass (None / dict / store /
 path); ``open_node_store`` / ``open_block_log`` apply the ``--state-dir``
-directory convention (``nodes.log`` + ``blocks.log``).
+directory convention (``nodes.log`` + ``blocks.log``), and
+``open_state_dir`` opens the pair as one unit (refusing a directory that
+holds only one of the two logs).
+
+Retention lives here too: :class:`RetentionPolicy` (archive vs last-K),
+:func:`compact_node_store` (rewrite the log down to the live node set of
+the retained roots, atomically), and :class:`PrunedRootError` (the typed
+answer for history a pruning node deliberately dropped).
 """
 
-from .blocklog import BLOCK_LOG_MAGIC, BlockLog, BlockLogStats, open_block_log
+from .blocklog import (
+    BLOCK_LOG_MAGIC,
+    BlockLog,
+    BlockLogAnchor,
+    BlockLogStats,
+    open_block_log,
+)
+from .compaction import (
+    CompactionReport,
+    RetentionPolicy,
+    compact_node_store,
+    live_state_nodes,
+)
 from .filestore import (
     AppendOnlyFileStore,
     FileStoreStats,
     MAGIC,
     open_node_store,
+    open_state_dir,
 )
-from .nodestore import MemoryNodeStore, NodeStore, StoreError, as_node_store
+from .nodestore import (
+    MemoryNodeStore,
+    NodeStore,
+    PrunedRootError,
+    StoreError,
+    as_node_store,
+)
 
 __all__ = [
     "NodeStore",
@@ -25,11 +51,18 @@ __all__ = [
     "AppendOnlyFileStore",
     "FileStoreStats",
     "BlockLog",
+    "BlockLogAnchor",
     "BlockLogStats",
     "StoreError",
+    "PrunedRootError",
+    "RetentionPolicy",
+    "CompactionReport",
+    "compact_node_store",
+    "live_state_nodes",
     "as_node_store",
     "open_node_store",
     "open_block_log",
+    "open_state_dir",
     "MAGIC",
     "BLOCK_LOG_MAGIC",
 ]

@@ -7,15 +7,24 @@ chain can reattach at its recovered head instead of refusing to start.
 
 The discipline mirrors :class:`~repro.storage.filestore.AppendOnlyFileStore`:
 
-* **Data layout** — one log file: an 8-byte magic header, then one record
-  per sealed block::
+* **Data layout** — one log file: an 8-byte magic header, then (on a
+  pruned log only) one *anchor record*::
+
+      0xB4 | u32 first number | 32-byte genesis hash
+           | 32-byte parent hash | u32 crc32
+
+  then one record per sealed block::
 
       0xB2 | u32 number | u32 payload len | payload
            | 32-byte block hash | u32 crc32
 
   where ``payload = rlp([header, [tx…], [receipt…]])`` (each element the
   canonical encoding already used by the tx/receipt tries).  The CRC covers
-  everything from the marker through the block hash.
+  everything from the marker through the block hash.  The anchor is what
+  :meth:`prune_to` leaves behind when it drops history below the retention
+  window: the first retained number, the hash of the genesis block the log
+  no longer physically holds (so reattach can still refuse a foreign
+  directory), and the parent hash the first retained record must link to.
 
 * **Write path** — :meth:`append` serializes the block into one buffer and
   lands it with a single ``write`` + ``flush`` + ``fsync``.  The chain
@@ -47,20 +56,27 @@ from .nodestore import StoreError
 if TYPE_CHECKING:  # pragma: no cover — import cycle (chain → trie → storage)
     from ..chain.block import Block
 
-__all__ = ["BlockLog", "BlockLogStats", "open_block_log"]
+__all__ = ["BlockLog", "BlockLogAnchor", "BlockLogStats", "open_block_log"]
 
 #: file signature: PARP block log, format version 1
 BLOCK_LOG_MAGIC = b"PARPBL01"
 _RECORD_MARKER = b"\xb2"
+_ANCHOR_MARKER = b"\xb4"
 _U32 = struct.Struct("<I")
 _HASH_LEN = 32
 _PREFIX_LEN = 1 + 2 * _U32.size            # marker | number | payload len
 _TRAILER_LEN = _HASH_LEN + _U32.size       # block hash | crc
+_ANCHOR_LEN = 1 + _U32.size + 2 * _HASH_LEN + _U32.size
 
 
 @dataclass
 class BlockLogStats:
-    """Operational counters surfaced to benches and the serving node."""
+    """Operational counters surfaced to benches and the serving node.
+
+    Like :class:`~repro.storage.filestore.FileStoreStats`, every counter
+    is per-open: a fresh handle starts at zero regardless of how much
+    history the file holds.
+    """
 
     blocks_appended: int = 0
     bytes_appended: int = 0
@@ -68,6 +84,41 @@ class BlockLogStats:
     blocks_recovered: int = 0
     #: torn/corrupt suffix bytes truncated away on the most recent open
     truncated_bytes: int = 0
+    #: records dropped below the retention window by :meth:`BlockLog.prune_to`
+    blocks_pruned: int = 0
+    #: log bytes reclaimed by pruning
+    bytes_reclaimed: int = 0
+
+
+@dataclass(frozen=True)
+class BlockLogAnchor:
+    """What a pruned log remembers about the history it dropped."""
+
+    #: number of the first record physically present
+    first_number: int
+    #: hash of block 0 — the chain-identity check for reattach
+    genesis_hash: bytes
+    #: parent hash the first retained record must link to
+    parent_hash: bytes
+
+    def encode(self) -> bytes:
+        record = (_ANCHOR_MARKER + _U32.pack(self.first_number)
+                  + self.genesis_hash + self.parent_hash)
+        return record + _U32.pack(zlib.crc32(record))
+
+    @classmethod
+    def decode(cls, data: bytes) -> Optional["BlockLogAnchor"]:
+        """Parse an anchor record; None when torn or corrupt."""
+        if len(data) != _ANCHOR_LEN or data[:1] != _ANCHOR_MARKER:
+            return None
+        (stored_crc,) = _U32.unpack_from(data, _ANCHOR_LEN - _U32.size)
+        if zlib.crc32(data[:-_U32.size]) != stored_crc:
+            return None
+        (first_number,) = _U32.unpack_from(data, 1)
+        genesis = data[1 + _U32.size:1 + _U32.size + _HASH_LEN]
+        parent = data[1 + _U32.size + _HASH_LEN:1 + _U32.size + 2 * _HASH_LEN]
+        return cls(first_number=first_number, genesis_hash=genesis,
+                   parent_hash=parent)
 
 
 def _encode_block(block: "Block") -> bytes:
@@ -76,6 +127,19 @@ def _encode_block(block: "Block") -> bytes:
         [tx.encode() for tx in block.transactions],
         [receipt.encode() for receipt in block.receipts],
     ])
+
+
+def _encode_record(block: "Block") -> bytes:
+    """One complete on-disk record for ``block`` (marker through CRC)."""
+    payload = _encode_block(block)
+    record = bytearray()
+    record += _RECORD_MARKER
+    record += _U32.pack(block.number)
+    record += _U32.pack(len(payload))
+    record += payload
+    record += block.hash
+    record += _U32.pack(zlib.crc32(bytes(record)))
+    return bytes(record)
 
 
 def _decode_block(payload: bytes) -> "Block":
@@ -138,7 +202,12 @@ class BlockLog:
         #: so a tail whose state the node store cannot resolve can be
         #: rewound record-precisely
         self._offsets: list[int] = []
+        #: present iff history below some height was pruned away
+        self.anchor: Optional[BlockLogAnchor] = None
         self._path.parent.mkdir(parents=True, exist_ok=True)
+        # a crash mid-prune (before the rename) leaves the half-built
+        # replacement behind; it was never promoted, so it is garbage
+        self._tmp_path().unlink(missing_ok=True)
         fresh = not self._path.exists() or self._path.stat().st_size == 0
         self._fh = open(self._path, "a+b")
         if fresh:
@@ -168,6 +237,22 @@ class BlockLog:
     def last_hash(self) -> Optional[bytes]:
         return self.blocks[-1].hash if self.blocks else None
 
+    @property
+    def first_number(self) -> int:
+        """Number of the first block this log can replay (0 unless pruned)."""
+        if self.anchor is not None:
+            return self.anchor.first_number
+        return self.blocks[0].number if self.blocks else 0
+
+    @property
+    def genesis_hash(self) -> Optional[bytes]:
+        """Hash of block 0, even when pruning dropped the record itself."""
+        if self.anchor is not None:
+            return self.anchor.genesis_hash
+        if self.blocks and self.blocks[0].number == 0:
+            return self.blocks[0].hash
+        return None
+
     # ------------------------------------------------------------------ #
     # Write path
     # ------------------------------------------------------------------ #
@@ -186,14 +271,18 @@ class BlockLog:
                     f"block {block.number} does not link to the logged tip "
                     f"{tip.hash.hex()[:12]}"
                 )
-        payload = _encode_block(block)
-        record = bytearray()
-        record += _RECORD_MARKER
-        record += _U32.pack(block.number)
-        record += _U32.pack(len(payload))
-        record += payload
-        record += block.hash
-        record += _U32.pack(zlib.crc32(bytes(record)))
+        elif self.anchor is not None:
+            # an anchored-but-emptied log (every retained record rewound)
+            # still enforces where history restarts
+            if (block.number != self.anchor.first_number
+                    or block.header.parent_hash != self.anchor.parent_hash):
+                raise StoreError(
+                    f"pruned block log restarts at number "
+                    f"{self.anchor.first_number} linking to "
+                    f"{self.anchor.parent_hash.hex()[:12]}, got block "
+                    f"{block.number}"
+                )
+        record = _encode_record(block)
         with self._lock:
             self._require_open()
             if self._wedged:
@@ -246,6 +335,91 @@ class BlockLog:
             del self.blocks[len(self.blocks) - count:]
             del self._offsets[len(self._offsets) - count:]
 
+    def _tmp_path(self) -> pathlib.Path:
+        return self._path.with_name(self._path.name + ".compact")
+
+    def _fsync_dir(self) -> None:
+        if not self._sync:
+            return
+        try:
+            dir_fd = os.open(self._path.parent, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform-dependent
+            return
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+
+    def prune_to(self, first_number: int) -> int:
+        """Drop every record below ``first_number``; returns the count dropped.
+
+        The surviving history is rewritten — anchor record first, then the
+        retained records — into ``<path>.compact``, fsynced, and promoted
+        by ``os.replace`` + a directory fsync, so a crash at any byte
+        offset leaves either the complete old log or the complete new one.
+
+        The chain layer calls this *before* compacting ``nodes.log``: a
+        crash between the two steps leaves the node store a superset of
+        what this log references (harmless), never the reverse — so the
+        log can never demand a pruned root.
+        """
+        with self._lock:
+            self._require_open()
+            if self._wedged:
+                raise StoreError(
+                    f"block log {self._path} is wedged; reopen it before "
+                    "pruning")
+            current_first = self.first_number
+            if first_number <= current_first:
+                return 0
+            if not self.blocks or first_number > self.blocks[-1].number:
+                raise StoreError(
+                    f"cannot prune to {first_number}: the log ends at "
+                    f"{self.blocks[-1].number if self.blocks else current_first}"
+                )
+            genesis = self.genesis_hash
+            if genesis is None:  # pragma: no cover - logs start at genesis
+                raise StoreError(
+                    f"block log {self._path} has no genesis binding to "
+                    "carry through a prune")
+            drop = first_number - self.blocks[0].number
+            keep = self.blocks[drop:]
+            anchor = BlockLogAnchor(
+                first_number=first_number,
+                genesis_hash=genesis,
+                parent_hash=keep[0].header.parent_hash,
+            )
+            before = os.fstat(self._fh.fileno()).st_size
+            tmp = self._tmp_path()
+            offsets: list[int] = []
+            try:
+                with open(tmp, "wb") as out:
+                    out.write(BLOCK_LOG_MAGIC)
+                    out.write(anchor.encode())
+                    pos = out.tell()
+                    for block in keep:
+                        record = _encode_record(block)
+                        out.write(record)
+                        offsets.append(pos)
+                        pos += len(record)
+                    out.flush()
+                    os.fsync(out.fileno())
+            except Exception:
+                tmp.unlink(missing_ok=True)
+                raise
+            os.replace(tmp, self._path)
+            self._fsync_dir()
+            old_fh = self._fh
+            self._fh = open(self._path, "a+b")
+            old_fh.close()
+            self.blocks = list(keep)
+            self._offsets = offsets
+            self.anchor = anchor
+            after = os.fstat(self._fh.fileno()).st_size
+            self.stats.blocks_pruned += drop
+            self.stats.bytes_reclaimed += max(0, before - after)
+            return drop
+
     def close(self) -> None:
         if not self._closed:
             self._closed = True
@@ -286,6 +460,22 @@ class BlockLog:
                 f"{self._path} is not a PARP block log (bad magic {magic!r})"
             )
         offset = len(BLOCK_LOG_MAGIC)
+        # a pruned log leads with its anchor record; a torn anchor ends the
+        # valid prefix before any block (the records after it link to an
+        # unverifiable restart point)
+        self._fh.seek(offset)
+        peek = self._fh.read(1)
+        if peek == _ANCHOR_MARKER:
+            self._fh.seek(offset)
+            self.anchor = BlockLogAnchor.decode(self._fh.read(_ANCHOR_LEN))
+            if self.anchor is None:
+                self.stats.truncated_bytes = total - offset
+                self._fh.truncate(offset)
+                self._fh.flush()
+                if self._sync:
+                    os.fsync(self._fh.fileno())
+                return
+            offset += _ANCHOR_LEN
         good_end = offset
         while offset < total:
             parsed = self._scan_record(offset, total)
@@ -296,6 +486,11 @@ class BlockLog:
                 tip = self.blocks[-1]
                 if (block.number != tip.number + 1
                         or block.header.parent_hash != tip.hash):
+                    break
+            elif self.anchor is not None:
+                if (block.number != self.anchor.first_number
+                        or block.header.parent_hash
+                        != self.anchor.parent_hash):
                     break
             self.blocks.append(block)
             self._offsets.append(offset)

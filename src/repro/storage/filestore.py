@@ -3,14 +3,29 @@
 This is the persistence layer that lets a full node hold state tries far
 bigger than RAM-resident Python dicts allow, and survive being restarted:
 
-* **Data layout** — one log file.  An 8-byte magic header, then a sequence
-  of *commit batches*.  Each batch is::
+* **Data layout** — one log file.  An 8-byte magic header, then (on a
+  compacted store) one *pruned-roots record*::
+
+      0xB5 | u32 count | count x 32-byte root | u32 crc32
+
+  then a sequence of *commit batches*.  Each batch is::
 
       0xB1 | u32 count | count x (32-byte hash | u32 len | value bytes)
            | 32-byte root | u32 crc32
 
   The CRC covers everything from the marker through the root, so any torn
-  or bit-flipped suffix is detected on reopen.
+  or bit-flipped suffix is detected on reopen.  A *clean* close appends a
+  root-index footer (stripped again on open — see below)::
+
+      0xB3 | u32 n_roots | n_roots x (32-byte root | u64 batch offset)
+           | u32 n_nodes | n_nodes x (32-byte hash | u64 offset | u32 len)
+           | u32 crc32 | u64 footer start offset
+
+  The node table is sorted by hash, so an indexed open does not
+  deserialize it at all: lookups bisect the packed bytes in place
+  (:class:`_PackedNodeIndex`) and the table only hydrates into a dict on
+  the first post-open commit.  Reopen cost is therefore one read and one
+  CRC — flat in the number of nodes.
 
 * **Write path** — ``__setitem__`` stages entries in a pending dict (reads
   see them immediately); :meth:`commit` serializes the whole batch into one
@@ -19,13 +34,19 @@ bigger than RAM-resident Python dicts allow, and survive being restarted:
   a block's worth of nodes costs one syscall burst, not one per node.
   Content addressing makes re-puts of known hashes free: they are skipped.
 
-* **Recovery** — :meth:`_recover` (run on open) scans batches from the
-  front, verifying each CRC.  The first short read or checksum mismatch
-  ends the valid prefix: the file is truncated back to the last batch that
-  committed completely, the offset index is rebuilt from the surviving
-  prefix, and :attr:`last_root` is the root that batch was tagged with.  A
-  crash mid-``write`` therefore loses only the uncommitted batch — exactly
-  the overlay writes the trie had not yet promised were durable.
+* **Recovery** — :meth:`_recover` (run on open) first tries the footer: if
+  the last 8 bytes point at an intact ``0xB3`` record, the index and root
+  history are deserialized in one read instead of scanning the whole file,
+  and the footer is truncated off so the live file is a pure batch log
+  again (appends and later recoveries never see it mid-file).  When the
+  footer is missing or torn — the normal state after a crash — the scan
+  fallback walks batches from the front, verifying each CRC.  The first
+  short read or checksum mismatch ends the valid prefix: the file is
+  truncated back to the last batch that committed completely, the offset
+  index is rebuilt from the surviving prefix, and :attr:`last_root` is the
+  root that batch was tagged with.  A crash mid-``write`` therefore loses
+  only the uncommitted batch — exactly the overlay writes the trie had not
+  yet promised were durable.
 
 * **Read path** — the in-memory index maps hash -> (offset, length); a
   ``get`` is one locked ``seek`` + ``read``, behind a bounded LRU of
@@ -34,6 +55,18 @@ bigger than RAM-resident Python dicts allow, and survive being restarted:
   node (they *are* the proof), so without the byte cache a warm proof
   still paid one file read per node per request.  Hot nodes therefore
   skip the disk entirely; the file is only touched on double misses.
+  Any path that retreats the log — a truncated failed append, recovery,
+  compaction — discards the affected cache entries: the cache never
+  serves bytes the log no longer durably holds.
+
+* **Compaction** — :meth:`compact` rewrites the log to a caller-supplied
+  set of batches (the live node set of the retained roots, assembled by
+  :func:`~repro.storage.compaction.compact_node_store`).  The new log is
+  written beside the old one (``nodes.log.compact``), fsynced, and
+  promoted with ``os.replace`` + a directory fsync — a crash at any byte
+  offset recovers to either the complete old log or the complete new one.
+  Roots dropped by the pass land in the pruned-roots record so reopen can
+  answer :class:`~repro.storage.nodestore.PrunedRootError` for them.
 """
 
 from __future__ import annotations
@@ -43,14 +76,21 @@ import pathlib
 import struct
 import threading
 import zlib
+from collections.abc import MutableMapping
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Iterable, Iterator, Optional, Sequence, Union
 
 from ..crypto.keccak import KECCAK_EMPTY_RLP
 from ..metrics.cache import LRUCache
+from .compaction import RetentionPolicy, RetentionSpec
 from .nodestore import NodeStore, StoreError
 
-__all__ = ["AppendOnlyFileStore", "FileStoreStats", "open_node_store"]
+__all__ = [
+    "AppendOnlyFileStore",
+    "FileStoreStats",
+    "open_node_store",
+    "open_state_dir",
+]
 
 #: default bound for the encoded-node read cache (entries, not bytes; trie
 #: nodes encode to ≤ ~530 B, so the worst case is a few tens of MiB —
@@ -60,22 +100,127 @@ DEFAULT_READ_CACHE_CAPACITY = 65536
 #: file signature: PARP node store, format version 1
 MAGIC = b"PARPNS01"
 _BATCH_MARKER = b"\xb1"
+_FOOTER_MARKER = b"\xb3"
+_PRUNED_MARKER = b"\xb5"
 _U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+#: footer table entries: (root, batch offset) / (hash, offset, length)
+_ROOT_ENTRY = struct.Struct("<32sQ")
+_NODE_ENTRY = struct.Struct("<32sQI")
 _HASH_LEN = 32
+#: bound on remembered pruned roots (newest kept) — the record is loaded
+#: on every open, so it must not itself grow without bound
+_PRUNED_CAP = 4096
 
 
 @dataclass
 class FileStoreStats:
-    """Operational counters surfaced to benches and the serving node."""
+    """Operational counters surfaced to benches and the serving node.
+
+    **Every counter is per-open**: a fresh :class:`AppendOnlyFileStore`
+    starts all of them at zero, whether the log it opens is empty or
+    holds years of history.  ``bytes_appended`` therefore counts what
+    *this handle* wrote, while ``batches_recovered`` counts what this
+    handle *found* at open — the two never mix, and reopening the same
+    path yields a store whose counters describe only the new lifecycle.
+    """
 
     batches_committed: int = 0
     entries_written: int = 0
+    #: bytes this handle appended via :meth:`commit` (recovered history
+    #: and the close-time footer are not appends)
     bytes_appended: int = 0
     reads: int = 0
-    #: batches found intact by the recovery scan on the most recent open
+    #: batches restored at open — by the footer when intact, else by the
+    #: recovery scan
     batches_recovered: int = 0
-    #: torn/corrupt suffix bytes truncated away on the most recent open
+    #: torn/corrupt bytes truncated away during this open's lifetime: the
+    #: recovery scan's discarded suffix plus any failed append that had to
+    #: be cut back (the footer stripped on a clean open is *not* counted —
+    #: nothing durable was lost)
     truncated_bytes: int = 0
+    #: compaction passes completed by this handle
+    compactions: int = 0
+    #: log bytes reclaimed by those passes
+    bytes_reclaimed: int = 0
+
+
+class _PackedNodeIndex(MutableMapping):
+    """The footer's node table used as the index, without deserializing it.
+
+    Materializing a dict from a few hundred thousand packed ``(hash,
+    offset, length)`` entries is the dominant cost of an indexed reopen —
+    a per-entry Python loop that makes the footer barely faster than the
+    recovery scan it exists to avoid.  So the table is kept exactly as the
+    footer stored it: packed, **sorted by hash**, bisected in place for
+    point lookups (the read path's only need).  The first *mutation* — a
+    commit after reopen — hydrates it into a real dict; until then the
+    index costs one blob reference, and reopen time is flat in the number
+    of nodes.
+
+    A clean close can hand the unhydrated blob straight back to the next
+    footer (:meth:`packed`), so open→serve→close cycles never pay the
+    pack/sort either.
+    """
+
+    __slots__ = ("_blob", "_count", "_dict")
+
+    def __init__(self, blob: bytes, count: int) -> None:
+        self._blob = blob
+        self._count = count
+        self._dict: Optional[dict[bytes, tuple[int, int]]] = None
+
+    def _hydrate(self) -> dict[bytes, tuple[int, int]]:
+        if self._dict is None:
+            self._dict = {
+                key: (offset, length)
+                for key, offset, length in _NODE_ENTRY.iter_unpack(self._blob)
+            }
+            self._blob = b""
+        return self._dict
+
+    def packed(self) -> Optional[bytes]:
+        """The sorted table bytes, if still pristine (else None)."""
+        return None if self._dict is not None else self._blob
+
+    def __getitem__(self, key: bytes) -> tuple[int, int]:
+        if self._dict is not None:
+            return self._dict[key]
+        size = _NODE_ENTRY.size
+        blob, lo, hi = self._blob, 0, self._count
+        while lo < hi:
+            mid = (lo + hi) // 2
+            probe = blob[mid * size:mid * size + _HASH_LEN]
+            if probe < key:
+                lo = mid + 1
+            elif probe > key:
+                hi = mid
+            else:
+                _, offset, length = _NODE_ENTRY.unpack_from(blob, mid * size)
+                return offset, length
+        raise KeyError(key)
+
+    def __setitem__(self, key: bytes, value: tuple[int, int]) -> None:
+        self._hydrate()[key] = value
+
+    def __delitem__(self, key: bytes) -> None:
+        del self._hydrate()[key]
+
+    def __iter__(self) -> Iterator[bytes]:
+        if self._dict is not None:
+            yield from self._dict
+            return
+        size = _NODE_ENTRY.size
+        for i in range(self._count):
+            yield self._blob[i * size:i * size + _HASH_LEN]
+
+    def __len__(self) -> int:
+        return self._count if self._dict is None else len(self._dict)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (dict, MutableMapping)):
+            return dict(self) == dict(other)
+        return NotImplemented
 
 
 class AppendOnlyFileStore(NodeStore):
@@ -85,24 +230,48 @@ class AppendOnlyFileStore(NodeStore):
     bulk loads and benchmarks where a machine crash just means rebuilding);
     the atomicity guarantee — recover to a committed root, never a torn
     batch — holds either way because it comes from the CRC, not the fsync.
+
+    ``retention`` is this store's :class:`RetentionPolicy` (or a spec
+    understood by :meth:`RetentionPolicy.parse`).  The store never prunes
+    on its own — compaction runs only when
+    :func:`~repro.storage.compaction.compact_node_store` (or the chain
+    layer above) asks — but the policy rides with the store so every layer
+    agrees on what "compact" means for it.
     """
 
     def __init__(self, path: Union[str, os.PathLike],
                  *, sync: bool = True,
+                 retention: RetentionSpec = None,
                  read_cache_capacity: int = DEFAULT_READ_CACHE_CAPACITY) -> None:
         self._path = pathlib.Path(path)
         self._sync = sync
+        self.retention = RetentionPolicy.parse(retention)
         self._lock = threading.Lock()
         self._read_cache: LRUCache = LRUCache(capacity=read_cache_capacity)
         self._pending: dict[bytes, bytes] = {}
-        self._index: dict[bytes, tuple[int, int]] = {}
+        #: hash -> (offset, length); a plain dict after a scan/commit, or
+        #: the footer's packed sorted table (:class:`_PackedNodeIndex`)
+        #: after an indexed open with no mutations yet
+        self._index: MutableMapping = {}
+        #: (root, batch offset) per committed batch, oldest → newest —
+        #: rebuilt at open (footer or scan), the input to retention
+        self._root_history: list[tuple[bytes, int]] = []
+        self._pruned_set: set[bytes] = set()
+        #: ordered (oldest → newest) view of the pruned set, persisted
+        self._pruned_order: list[bytes] = []
         self._last_root: bytes = KECCAK_EMPTY_RLP
+        self._data_start = len(MAGIC)
         self._closed = False
+        #: True when this open deserialized the footer instead of scanning
+        self.opened_indexed = False
         #: a failed append that could not be truncated away wedges writes
         #: (reads stay valid); reopening re-runs recovery and clears it
         self._wedged = False
         self.stats = FileStoreStats()
         self._path.parent.mkdir(parents=True, exist_ok=True)
+        # a crash mid-compaction (before the rename) leaves the half-built
+        # replacement behind; it was never promoted, so it is garbage
+        self._tmp_path().unlink(missing_ok=True)
         fresh = not self._path.exists() or self._path.stat().st_size == 0
         self._fh = open(self._path, "a+b")
         if fresh:
@@ -125,6 +294,15 @@ class AppendOnlyFileStore(NodeStore):
     def last_root(self) -> bytes:
         return self._last_root
 
+    @property
+    def root_history(self) -> list[bytes]:
+        """Roots of every live batch, oldest → newest (repeats possible)."""
+        return [root for root, _ in self._root_history]
+
+    @property
+    def pruned_roots(self) -> frozenset:
+        return frozenset(self._pruned_set)
+
     def get(self, key: bytes) -> Optional[bytes]:
         value = self._pending.get(key)
         if value is not None:
@@ -132,12 +310,15 @@ class AppendOnlyFileStore(NodeStore):
         cached = self._read_cache.get(key)
         if cached is not None:
             return cached
-        location = self._index.get(key)
-        if location is None:
-            return None
-        offset, length = location
+        # the index lookup happens under the lock: compaction swaps the
+        # file and the index together, and a location resolved against the
+        # old file must never be read from the new one
         with self._lock:
             self._require_open()
+            location = self._index.get(key)
+            if location is None:
+                return None
+            offset, length = location
             self._fh.seek(offset)
             data = self._fh.read(length)
         if len(data) != length:  # pragma: no cover - index always in-bounds
@@ -160,6 +341,12 @@ class AppendOnlyFileStore(NodeStore):
 
     def __len__(self) -> int:
         return len(self._index) + len(self._pending)
+
+    def log_bytes(self) -> int:
+        """Current size of the log file — the auto-compaction trigger input."""
+        with self._lock:
+            self._require_open()
+            return os.fstat(self._fh.fileno()).st_size
 
     def commit(self, root: bytes) -> None:
         """Append the pending batch as one checksummed, fsynced record.
@@ -190,7 +377,9 @@ class AppendOnlyFileStore(NodeStore):
             self._fh.seek(0, os.SEEK_END)
             base = self._fh.tell()
             try:
-                written, locations = self._write_batch(root, base)
+                written, locations = self._stream_batch(
+                    self._fh, root, base, self._pending.items(),
+                    sync=self._sync)
             except Exception:
                 # drop the partial record so later commits do not bury a
                 # torn batch mid-log (recovery scans front-to-back and
@@ -198,13 +387,21 @@ class AppendOnlyFileStore(NodeStore):
                 # wedge the store — appending past a torn record would
                 # acknowledge commits that recovery must throw away
                 try:
+                    torn = os.fstat(self._fh.fileno()).st_size - base
                     self._fh.truncate(base)
                     self._fh.flush()
+                    if torn > 0:
+                        self.stats.truncated_bytes += torn
                 except OSError:
                     self._wedged = True
+                # either way the staged bytes are not durable: make sure
+                # the read cache cannot serve them as if they were
+                for key in self._pending:
+                    self._read_cache.discard(key)
                 raise
             for key, offset, length in locations:
                 self._index[key] = (offset, length)
+            self._root_history.append((root, base))
             self.stats.batches_committed += 1
             self.stats.entries_written += len(self._pending)
             self.stats.bytes_appended += written
@@ -219,20 +416,22 @@ class AppendOnlyFileStore(NodeStore):
             self._pending.clear()
             self._last_root = root
 
-    def _write_batch(self, root: bytes, base: int
-                     ) -> tuple[int, list[tuple[bytes, int, int]]]:
-        """Stream one batch at ``base``; returns (bytes written, locations).
+    def _stream_batch(self, fh, root: bytes, base: int,
+                      items: Iterable[tuple[bytes, bytes]],
+                      *, sync: bool) -> tuple[int, list[tuple[bytes, int, int]]]:
+        """Stream one batch at ``base`` of ``fh``; returns (written, locations).
 
         The value locations are returned — not applied to the index — so a
         failed write cannot leave the index pointing into a torn record.
+        ``items`` must support ``len()`` (the count leads the record).
         """
-        fh = self._fh
-        header = _BATCH_MARKER + _U32.pack(len(self._pending))
+        items = items if hasattr(items, "__len__") else list(items)
+        header = _BATCH_MARKER + _U32.pack(len(items))
         crc = zlib.crc32(header)
         fh.write(header)
         offset = base + len(header)
         locations: list[tuple[bytes, int, int]] = []
-        for key, value in self._pending.items():
+        for key, value in items:
             entry_header = key + _U32.pack(len(value))
             crc = zlib.crc32(entry_header, crc)
             fh.write(entry_header)
@@ -246,19 +445,235 @@ class AppendOnlyFileStore(NodeStore):
         fh.write(_U32.pack(crc))
         offset += _HASH_LEN + _U32.size
         fh.flush()
-        if self._sync:
+        if sync:
             os.fsync(fh.fileno())
         return offset - base, locations
 
-    def close(self) -> None:
+    def close(self, write_index: bool = True) -> None:
         """Close the file handle; pending (uncommitted) writes are dropped —
         they were never promised durable, exactly like trie overlay nodes
-        before a ``commit``."""
-        if not self._closed:
-            self._closed = True
-            self._pending.clear()
+        before a ``commit``.
+
+        A clean close appends the root-index footer so the next open seeks
+        instead of scanning.  ``write_index=False`` skips it (tests that
+        surgically corrupt the raw batch log want the file footer-free); a
+        wedged store never writes one — its tail is exactly what recovery
+        must re-examine.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._pending.clear()
+        try:
+            if write_index and not self._wedged:
+                self._write_footer()
+        finally:
             self._read_cache.clear()
             self._fh.close()
+
+    # ------------------------------------------------------------------ #
+    # Compaction
+    # ------------------------------------------------------------------ #
+
+    def _tmp_path(self) -> pathlib.Path:
+        return self._path.with_name(self._path.name + ".compact")
+
+    def compact(self, batches: Sequence[tuple[bytes, Sequence[tuple[bytes, bytes]]]],
+                pruned_roots: Sequence[bytes] = ()) -> tuple[int, int]:
+        """Rewrite the log to exactly ``batches``; returns (before, after) sizes.
+
+        ``batches`` is ordered oldest → newest: one ``(root, [(hash,
+        bytes), …])`` per retained root (use
+        :func:`~repro.storage.compaction.compact_node_store` to assemble
+        it from a retention policy — this method only performs the
+        mechanical rewrite).  ``pruned_roots`` joins the store's persisted
+        pruned-roots record (newest :data:`_PRUNED_CAP` kept).
+
+        Crash safety: the replacement log is fully written and fsynced at
+        ``<path>.compact`` before a single ``os.replace`` promotes it, and
+        the directory entry is fsynced after — at every byte offset of the
+        pass the on-disk state is either the complete old log or the
+        complete new one.  Refuses to run over staged-but-uncommitted
+        writes (they exist in no log) or a wedged store.
+        """
+        with self._lock:
+            self._require_open()
+            if self._wedged:
+                raise StoreError(
+                    f"node store {self._path} is wedged; reopen it before "
+                    "compacting")
+            if self._pending:
+                raise StoreError(
+                    f"node store {self._path} has {len(self._pending)} "
+                    "staged uncommitted writes; commit or drop them before "
+                    "compacting")
+            before = os.fstat(self._fh.fileno()).st_size
+            # pruned memory: previously pruned roots stay remembered (they
+            # are still unresolvable), newly pruned append after them
+            merged: list[bytes] = []
+            merged_seen: set[bytes] = set()
+            for root in list(self._pruned_order) + list(pruned_roots):
+                if root not in merged_seen:
+                    merged_seen.add(root)
+                    merged.append(root)
+            merged = merged[-_PRUNED_CAP:]
+            tmp = self._tmp_path()
+            new_index: dict[bytes, tuple[int, int]] = {}
+            new_history: list[tuple[bytes, int]] = []
+            try:
+                with open(tmp, "wb") as out:
+                    out.write(MAGIC)
+                    if merged:
+                        record = (_PRUNED_MARKER + _U32.pack(len(merged))
+                                  + b"".join(merged))
+                        out.write(record)
+                        out.write(_U32.pack(zlib.crc32(record)))
+                    data_start = out.tell()
+                    offset = data_start
+                    for root, items in batches:
+                        written, locations = self._stream_batch(
+                            out, root, offset, items, sync=False)
+                        for key, off, length in locations:
+                            new_index[key] = (off, length)
+                        new_history.append((root, offset))
+                        offset += written
+                    out.flush()
+                    os.fsync(out.fileno())
+            except Exception:
+                tmp.unlink(missing_ok=True)
+                raise
+            os.replace(tmp, self._path)
+            self._fsync_dir()
+            old_fh = self._fh
+            self._fh = open(self._path, "a+b")
+            old_fh.close()
+            # the cache must not serve nodes the new log no longer holds
+            for key in self._index.keys() - new_index.keys():
+                self._read_cache.discard(key)
+            self._index = new_index
+            self._root_history = new_history
+            self._last_root = (new_history[-1][0] if new_history
+                               else KECCAK_EMPTY_RLP)
+            self._pruned_order = merged
+            self._pruned_set = set(merged)
+            self._data_start = data_start
+            after = os.fstat(self._fh.fileno()).st_size
+            self.stats.compactions += 1
+            self.stats.bytes_reclaimed += max(0, before - after)
+            return before, after
+
+    def _fsync_dir(self) -> None:
+        if not self._sync:
+            return
+        try:
+            dir_fd = os.open(self._path.parent, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform-dependent
+            return
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+
+    # ------------------------------------------------------------------ #
+    # Root-index footer
+    # ------------------------------------------------------------------ #
+
+    def _write_footer(self) -> None:
+        """Append the ``0xB3`` footer: root table + node index + crc + pointer.
+
+        Best-effort durability (flushed, fsynced under ``sync=True``): a
+        footer torn by a crash during close is detected by its CRC on the
+        next open, which then falls back to the streaming scan.
+        """
+        fh = self._fh
+        fh.seek(0, os.SEEK_END)
+        start = fh.tell()
+        body = bytearray()
+        body += _FOOTER_MARKER
+        body += _U32.pack(len(self._root_history))
+        for root, batch_offset in self._root_history:
+            body += _ROOT_ENTRY.pack(root, batch_offset)
+        body += _U32.pack(len(self._index))
+        packed = (self._index.packed()
+                  if isinstance(self._index, _PackedNodeIndex) else None)
+        if packed is not None:
+            # open→serve→close cycle with no commits: the table this open
+            # bisected is still pristine and already sorted — reuse it
+            body += packed
+        else:
+            # sorted by hash: the next open bisects the table in place
+            for key in sorted(self._index):
+                offset, length = self._index[key]
+                body += _NODE_ENTRY.pack(key, offset, length)
+        fh.write(body)
+        fh.write(_U32.pack(zlib.crc32(bytes(body))))
+        fh.write(_U64.pack(start))
+        fh.flush()
+        if self._sync:
+            os.fsync(fh.fileno())
+
+    def _try_indexed_open(self, data_start: int, total: int) -> bool:
+        """Deserialize the footer if intact; strips it and returns True.
+
+        Any structural defect — short file, out-of-range pointer, wrong
+        marker, CRC mismatch, tables that do not tile the record, offsets
+        escaping the batch region — returns False and leaves the file
+        untouched for the scan fallback.
+        """
+        min_footer = 1 + 2 * _U32.size + _U32.size + _U64.size
+        if total - data_start < min_footer:
+            return False
+        fh = self._fh
+        fh.seek(total - _U64.size)
+        (start,) = _U64.unpack(fh.read(_U64.size))
+        if not data_start <= start <= total - min_footer:
+            return False
+        fh.seek(start)
+        blob = fh.read(total - _U64.size - start)
+        if len(blob) < min_footer - _U64.size or blob[:1] != _FOOTER_MARKER:
+            return False
+        body, stored = blob[:-_U32.size], blob[-_U32.size:]
+        if zlib.crc32(body) != _U32.unpack(stored)[0]:
+            return False
+        pos = 1
+        (n_roots,) = _U32.unpack_from(body, pos)
+        pos += _U32.size
+        roots_len = n_roots * _ROOT_ENTRY.size
+        if pos + roots_len + _U32.size > len(body):
+            return False
+        history = [(root, batch_offset) for root, batch_offset
+                   in _ROOT_ENTRY.iter_unpack(bytes(body[pos:pos + roots_len]))]
+        pos += roots_len
+        (n_nodes,) = _U32.unpack_from(body, pos)
+        pos += _U32.size
+        nodes_len = n_nodes * _NODE_ENTRY.size
+        if pos + nodes_len != len(body):
+            return False
+        # the node table stays packed (sorted by hash, bisected on demand)
+        # so the open is flat in node count; offsets are only spot-checked
+        # at the table's edges — the CRC already vouches for the rest, and
+        # a fabricated offset fails closed (miss / short read), it cannot
+        # fabricate node bytes
+        node_blob = bytes(body[pos:pos + nodes_len])
+        for i in (0, n_nodes - 1) if n_nodes else ():
+            _, offset, length = _NODE_ENTRY.unpack_from(
+                node_blob, i * _NODE_ENTRY.size)
+            if offset < data_start or offset + length > start:
+                return False
+        for _, batch_offset in history:
+            if not data_start <= batch_offset < start:
+                return False
+        self._index = _PackedNodeIndex(node_blob, n_nodes)
+        self._root_history = history
+        self._last_root = history[-1][0] if history else KECCAK_EMPTY_RLP
+        self.stats.batches_recovered = len(history)
+        # strip the footer: the live file is a pure batch log again, so
+        # appends and any later torn-tail recovery see the format unchanged
+        self._fh.truncate(start)
+        self._fh.flush()
+        if self._sync:
+            os.fsync(self._fh.fileno())
+        return True
 
     # ------------------------------------------------------------------ #
     # Recovery
@@ -269,13 +684,15 @@ class AppendOnlyFileStore(NodeStore):
             raise StoreError(f"node store {self._path} is closed")
 
     def _recover(self) -> None:
-        """Rebuild the index from the longest valid prefix; truncate the rest.
+        """Rebuild the index: footer seek when intact, else a streaming scan.
 
-        Validity is per-batch: marker present, all fields complete, CRC
-        matches.  The scan is strictly front-to-back, so a corrupt byte in
-        batch *k* invalidates batches *k..n* — later batches may reference
-        nodes from the damaged one, so the committed root they advertise is
-        not resolvable and keeping them would serve broken proofs.
+        The scan path truncates everything after the longest valid batch
+        prefix.  Validity is per-batch: marker present, all fields
+        complete, CRC matches.  The scan is strictly front-to-back, so a
+        corrupt byte in batch *k* invalidates batches *k..n* — later
+        batches may reference nodes from the damaged one, so the committed
+        root they advertise is not resolvable and keeping them would serve
+        broken proofs.
 
         The scan *streams*: batches are parsed straight off the file handle
         with an incremental CRC, so recovering a log far bigger than RAM
@@ -301,18 +718,40 @@ class AppendOnlyFileStore(NodeStore):
             raise StoreError(
                 f"{self._path} is not a PARP node store (bad magic {magic!r})"
             )
-        index: dict[bytes, tuple[int, int]] = {}
-        last_root = KECCAK_EMPTY_RLP
-        good_end = len(MAGIC)
         offset = len(MAGIC)
+        pruned = self._scan_pruned_record(offset, total)
+        if pruned == "torn":
+            # the front record is written atomically with the compacted
+            # log, so damage here is external corruption: nothing after it
+            # is trustworthy
+            self.stats.truncated_bytes = total - len(MAGIC)
+            self._fh.truncate(len(MAGIC))
+            self._fh.flush()
+            if self._sync:
+                os.fsync(self._fh.fileno())
+            return
+        if pruned is not None:
+            roots, offset = pruned
+            self._pruned_order = roots
+            self._pruned_set = set(roots)
+        self._data_start = offset
+        if self._try_indexed_open(offset, total):
+            self.opened_indexed = True
+            return
+        index: dict[bytes, tuple[int, int]] = {}
+        history: list[tuple[bytes, int]] = []
+        last_root = KECCAK_EMPTY_RLP
+        good_end = offset
         batches = 0
         while offset < total:
             parsed = self._scan_batch(offset, total)
             if parsed is None:
                 break  # torn or corrupt suffix: stop at the last good batch
-            entries, root, offset = parsed
+            entries, root, next_offset = parsed
             index.update(entries)
+            history.append((root, offset))
             last_root = root
+            offset = next_offset
             good_end = offset
             batches += 1
         if good_end < total:
@@ -322,8 +761,39 @@ class AppendOnlyFileStore(NodeStore):
             if self._sync:
                 os.fsync(self._fh.fileno())
         self._index = index
+        self._root_history = history
         self._last_root = last_root
         self.stats.batches_recovered = batches
+
+    def _scan_pruned_record(self, offset: int, total: int):
+        """Parse the optional ``0xB5`` record at ``offset``.
+
+        Returns None when absent (the byte there starts a batch or the
+        footer), ``"torn"`` when present but damaged, or
+        ``(roots, next_offset)``.
+        """
+        fh = self._fh
+        if offset >= total:
+            return None
+        fh.seek(offset)
+        marker = fh.read(1)
+        if marker != _PRUNED_MARKER:
+            return None
+        header = fh.read(_U32.size)
+        if len(header) != _U32.size:
+            return "torn"
+        (count,) = _U32.unpack(header)
+        if count > _PRUNED_CAP:
+            return "torn"
+        body = fh.read(count * _HASH_LEN + _U32.size)
+        if len(body) != count * _HASH_LEN + _U32.size:
+            return "torn"
+        payload, stored = body[:-_U32.size], body[-_U32.size:]
+        if zlib.crc32(marker + header + payload) != _U32.unpack(stored)[0]:
+            return "torn"
+        roots = [payload[i:i + _HASH_LEN]
+                 for i in range(0, len(payload), _HASH_LEN)]
+        return roots, offset + 1 + _U32.size + count * _HASH_LEN + _U32.size
 
     def _scan_batch(self, offset: int, total: int
                     ) -> Optional[tuple[dict[bytes, tuple[int, int]],
@@ -374,7 +844,8 @@ class AppendOnlyFileStore(NodeStore):
 
 
 def open_node_store(state_dir: Union[str, os.PathLike],
-                    *, sync: bool = True) -> AppendOnlyFileStore:
+                    *, sync: bool = True,
+                    retention: RetentionSpec = None) -> AppendOnlyFileStore:
     """Open (or create) the node store of a node's ``--state-dir``.
 
     The directory convention keeps room for future siblings (block index,
@@ -388,4 +859,43 @@ def open_node_store(state_dir: Union[str, os.PathLike],
             "or move it to <dir>/nodes.log"
         )
     state_dir.mkdir(parents=True, exist_ok=True)
-    return AppendOnlyFileStore(state_dir / "nodes.log", sync=sync)
+    return AppendOnlyFileStore(state_dir / "nodes.log", sync=sync,
+                               retention=retention)
+
+
+def open_state_dir(state_dir: Union[str, os.PathLike],
+                   *, sync: bool = True, retention: RetentionSpec = None):
+    """Open a full node's ``--state-dir`` as its paired logs.
+
+    Returns ``(node_store, block_log)``.  The two logs are one durable
+    unit: refusing a directory that holds exactly one of them is a bugfix
+    — silently reinitializing the missing sibling desynchronizes the
+    recovered ``last_root`` from the block-log head (or vice versa) and
+    forces a surprise rewind on the *next* restart.  The refusal happens
+    before either file is created, so the directory is left exactly as
+    found for the operator to repair.
+    """
+    from .blocklog import open_block_log
+
+    state_dir = pathlib.Path(state_dir)
+    nodes_path = state_dir / "nodes.log"
+    blocks_path = state_dir / "blocks.log"
+    if nodes_path.exists() != blocks_path.exists():
+        present, missing = (
+            (nodes_path, blocks_path) if nodes_path.exists()
+            else (blocks_path, nodes_path))
+        raise StoreError(
+            f"state dir {state_dir} holds {present.name} but not "
+            f"{missing.name}: the paired logs must be restored (and opened) "
+            f"together — reinitializing {missing.name} would desynchronize "
+            "the recovered state root from the chain head and force a "
+            f"surprise rewind.  Restore {missing.name} from the same "
+            f"snapshot, or remove {present.name} to start fresh."
+        )
+    store = open_node_store(state_dir, sync=sync, retention=retention)
+    try:
+        block_log = open_block_log(state_dir, sync=sync)
+    except BaseException:
+        store.close()
+        raise
+    return store, block_log

@@ -29,11 +29,27 @@ from typing import Iterator, Optional, Union
 
 from ..crypto.keccak import KECCAK_EMPTY_RLP
 
-__all__ = ["NodeStore", "MemoryNodeStore", "StoreError", "as_node_store"]
+__all__ = [
+    "NodeStore",
+    "MemoryNodeStore",
+    "StoreError",
+    "PrunedRootError",
+    "as_node_store",
+]
 
 
 class StoreError(Exception):
     """Raised on unusable node stores (wrong file format, closed handle)."""
+
+
+class PrunedRootError(StoreError):
+    """A requested root existed once but was pruned by store compaction.
+
+    Distinct from a merely *unknown* root: the store remembers which roots
+    it deliberately dropped (the pruned-roots record survives restarts), so
+    a serving node can answer "this history is outside my retention window"
+    instead of the indistinguishable-from-corruption "unknown root hash".
+    """
 
 
 class NodeStore(abc.ABC):
@@ -79,6 +95,16 @@ class NodeStore(abc.ABC):
         This is the re-attachment point after reopening a persistent store
         (``MerklePatriciaTrie(store, store.last_root)``).
         """
+
+    @property
+    def pruned_roots(self) -> frozenset:
+        """Roots this store deliberately dropped during compaction.
+
+        Empty for stores that never prune (the memory store, an archive
+        disk store).  The trie consults this to raise the typed
+        :class:`PrunedRootError` instead of a generic unknown-root error.
+        """
+        return frozenset()
 
     def close(self) -> None:
         """Release resources; staged-but-uncommitted writes are dropped."""
@@ -136,7 +162,8 @@ class MemoryNodeStore(NodeStore):
         return f"MemoryNodeStore(entries={len(self._entries)})"
 
 
-def as_node_store(db: Union[None, dict, NodeStore, str, "object"]) -> NodeStore:
+def as_node_store(db: Union[None, dict, NodeStore, str, "object"],
+                  retention=None) -> NodeStore:
     """Normalize what callers hand the tries into a :class:`NodeStore`.
 
     Accepts the historical forms — ``None`` (fresh in-memory store) and a
@@ -150,10 +177,19 @@ def as_node_store(db: Union[None, dict, NodeStore, str, "object"]) -> NodeStore:
     wrote (and creating it first with either call lands in the same
     place); a path with an extension (``…/nodes.log``) is opened as the
     log file itself.
+
+    ``retention`` (an archive/last-K spec understood by
+    :meth:`~repro.storage.compaction.RetentionPolicy.parse`) is applied to
+    disk-backed stores it opens or is handed; stores that cannot prune
+    (memory, raw dicts) ignore it — they never compact.
     """
     if db is None:
         return MemoryNodeStore()
     if isinstance(db, NodeStore):
+        if retention is not None and hasattr(db, "retention"):
+            from .compaction import RetentionPolicy
+
+            db.retention = RetentionPolicy.parse(retention)
         return db
     if isinstance(db, dict):
         return MemoryNodeStore(db)
@@ -164,8 +200,8 @@ def as_node_store(db: Union[None, dict, NodeStore, str, "object"]) -> NodeStore:
 
         path = os.fsdecode(db) if not isinstance(db, str) else db
         if os.path.isdir(path) or not os.path.splitext(path)[1]:
-            return open_node_store(path)
-        return AppendOnlyFileStore(path)
+            return open_node_store(path, retention=retention)
+        return AppendOnlyFileStore(path, retention=retention)
     raise TypeError(
         f"cannot use {type(db).__name__} as a node store "
         "(expected None, dict, NodeStore, or a path)"

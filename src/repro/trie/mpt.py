@@ -59,7 +59,7 @@ from typing import Iterator, Optional, Union
 from ..crypto.keccak import KECCAK_EMPTY_RLP, keccak256
 from ..metrics.cache import LRUCache
 from ..rlp import codec as rlp
-from ..storage.nodestore import NodeStore, as_node_store
+from ..storage.nodestore import NodeStore, PrunedRootError, as_node_store
 from .nibbles import (
     Nibbles,
     bytes_to_nibbles,
@@ -105,6 +105,12 @@ class MerklePatriciaTrie:
                  node_cache: Optional[LRUCache] = None) -> None:
         self._db: NodeStore = as_node_store(db)
         if root_hash != EMPTY_TRIE_ROOT and root_hash not in self._db:
+            if root_hash in self._db.pruned_roots:
+                raise PrunedRootError(
+                    f"state root {root_hash.hex()} was pruned by store "
+                    "compaction; only roots inside the retention window "
+                    "stay resolvable"
+                )
             raise TrieError(f"unknown root hash {root_hash.hex()}")
         #: committed root; None exactly while the overlay holds dirty nodes
         self._root_hash: Optional[bytes] = root_hash

@@ -17,7 +17,7 @@ from repro.chain import (
 )
 from repro.chain.receipt import Receipt
 from repro.node import Devnet
-from repro.storage import AppendOnlyFileStore, open_node_store
+from repro.storage import AppendOnlyFileStore, StoreError, open_node_store
 from repro.vm import ContractRegistry, TransactionExecutor
 
 from ..conftest import Keys, make_parp_env
@@ -134,19 +134,37 @@ class TestKillAndReopen:
         revived.close()
 
     def test_log_without_matching_store_is_refused(self, tmp_path, keys):
+        """A state dir holding only one of the paired logs is refused with
+        the paired-logs error *before* the missing sibling is recreated —
+        silently reinitializing it would desynchronize the recovered state
+        root from the logged head and force a surprise rewind."""
         genesis = _genesis(keys)
         state_dir = tmp_path / "state"
         net = Devnet(genesis, state_dir=state_dir)
         net.advance_blocks(1)
         net.close()
-        (state_dir / "nodes.log").unlink()  # fresh store, populated log
-        with pytest.raises(ChainError, match="cannot resolve"):
+        (state_dir / "nodes.log").unlink()  # populated log, missing store
+        with pytest.raises(StoreError, match="paired logs"):
             Devnet(genesis, state_dir=state_dir)
+        # the refusal left the dir untouched: no nodes.log was created
+        assert not (state_dir / "nodes.log").exists()
         # ... and nothing leaked: a clean store pair reopens after wiping
         (state_dir / "blocks.log").unlink()
         fresh = Devnet(genesis, state_dir=state_dir)
         assert not fresh.chain.reattached
         fresh.close()
+
+    def test_store_without_matching_log_is_refused(self, tmp_path, keys):
+        """The mirror direction: nodes.log present, blocks.log missing."""
+        genesis = _genesis(keys)
+        state_dir = tmp_path / "state"
+        net = Devnet(genesis, state_dir=state_dir)
+        net.advance_blocks(1)
+        net.close()
+        (state_dir / "blocks.log").unlink()  # populated store, missing log
+        with pytest.raises(StoreError, match="paired logs"):
+            Devnet(genesis, state_dir=state_dir)
+        assert not (state_dir / "blocks.log").exists()
 
 
 class TestServingAfterRestart:
