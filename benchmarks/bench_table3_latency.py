@@ -17,7 +17,7 @@ side by side with the paper's numbers.
 import time
 
 from repro.metrics import StepTimer, render_table
-from repro.parp.messages import PARPResponse, RpcCall
+from repro.parp.messages import PARPRequest, PARPResponse, RpcCall
 from repro.parp.queries import execute_query, verify_query_result
 from repro.parp.verification import classify_response
 
@@ -51,7 +51,7 @@ def _measure_workload(world, call_factory, timer: StepTimer, label: str,
         wire = request.encode_wire()
 
         start = time.perf_counter()                      # (B) request verify
-        verified = server._verify_request(wire)
+        verified = server._verify_request(PARPRequest.decode_wire(wire))
         timer.add_sample(f"B/{label}", time.perf_counter() - start)
 
         start = time.perf_counter()                      # (C-proof)

@@ -110,6 +110,9 @@ class Blockchain:
         self.mempool: list[Transaction] = []
         self.executor = executor
         self._block_context_factory = block_context_factory
+        #: callbacks fired once per newly *sealed* block (see
+        #: :meth:`on_seal`) — never for genesis or reattached history.
+        self._seal_listeners: list[Callable[["Block"], None]] = []
         #: log size after the last compaction — the growth reference for
         #: the automatic trigger (see RetentionPolicy.compact_growth)
         self._compact_baseline = (
@@ -413,6 +416,25 @@ class Blockchain:
             self.block_log.append(block)
         self._index_block(block)
         self._maybe_autocompact()
+        for listener in list(self._seal_listeners):
+            listener(block)
+
+    def on_seal(self, listener: Callable[["Block"], None]) -> Callable:
+        """Subscribe to newly sealed blocks (the gossip announce hook).
+
+        Listeners fire after the block is durably logged and indexed —
+        and only for *new* seals: genesis and the reattach path replay
+        history without announcing it.  Returns the listener for symmetry
+        with :meth:`remove_seal_listener`.
+        """
+        self._seal_listeners.append(listener)
+        return listener
+
+    def remove_seal_listener(self, listener: Callable) -> None:
+        try:
+            self._seal_listeners.remove(listener)
+        except ValueError:
+            pass
 
     # ------------------------------------------------------------------ #
     # Compaction / pruning

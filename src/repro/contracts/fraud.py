@@ -140,6 +140,43 @@ class FraudModule(NativeContract):
 
         raise Revert("no fraud detected")
 
+    @contract_method()
+    def submit_head_equivocation(self, ctx: CallContext, args: list) -> bool:
+        """Adjudicate a head-announcement equivocation (gossip fraud path).
+
+        Evidence is self-contained: two domain-separated announcement
+        signatures over *different* headers at *one* height, both
+        recovering to the same registry identity.  No channel context is
+        needed — the announcer's misbehavior is against every subscriber
+        at once — so the slash reuses the §IV-F split with the submitting
+        reporter in the defrauded-party seat.
+        """
+        from ..gossip.heads import HEAD_ANNOUNCEMENT_DOMAIN
+
+        header_a_blob = abi.as_bytes(args[0])
+        sig_a = abi.as_bytes(args[1])
+        header_b_blob = abi.as_bytes(args[2])
+        sig_b = abi.as_bytes(args[3])
+        reporter = abi.as_address(args[4])
+        witness = abi.as_address(args[5])
+
+        header_a = self._decode_header(ctx, header_a_blob)
+        header_b = self._decode_header(ctx, header_b_blob)
+        ctx.require(header_a.number == header_b.number,
+                    "announcements are at different heights")
+        ctx.require(ctx.keccak(header_a_blob) != ctx.keccak(header_b_blob),
+                    "announcements carry the same header")
+
+        digest_a = ctx.keccak(HEAD_ANNOUNCEMENT_DOMAIN + header_a_blob)
+        digest_b = ctx.keccak(HEAD_ANNOUNCEMENT_DOMAIN + header_b_blob)
+        signer_a = ctx.ecrecover(digest_a, sig_a)
+        signer_b = ctx.ecrecover(digest_b, sig_b)
+        ctx.require(signer_a == signer_b,
+                    "announcements signed by different identities")
+
+        return self._slash(ctx, signer_a, reporter, witness,
+                           "equivocating head announcements")
+
     def _decode_header(self, ctx: CallContext, blob: bytes) -> BlockHeader:
         ctx.charge(RLP_DECODE_BYTE_GAS * len(blob), "decode")
         try:

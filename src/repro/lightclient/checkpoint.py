@@ -160,9 +160,9 @@ class CheckpointSyncer(HeaderSyncer):
             raise ValueError("page size must be positive")
         self.checkpoint = checkpoint
         self.page_size = min(page_size, MAX_UPDATE_PAGE)
-        #: fetch-cost counters: checkpoint sync's whole point is that these
-        #: scale with distance-from-checkpoint, not chain length (benched)
-        self.headers_fetched = 0
+        #: page-count sibling of the inherited ``headers_fetched``: the
+        #: whole point of checkpoint sync is that both scale with
+        #: distance-from-checkpoint, not chain length (benched)
         self.pages_fetched = 0
 
     # ------------------------------------------------------------------ #
@@ -212,7 +212,14 @@ class CheckpointSyncer(HeaderSyncer):
     # ------------------------------------------------------------------ #
 
     def sync_to(self, target: int) -> BlockHeader:
-        """Catch up to ``target`` in pages of up to ``page_size`` headers."""
+        """Catch up to ``target`` in pages of up to ``page_size`` headers.
+
+        Idempotent like the base class: a target at or below the local tip
+        costs zero fetches and zero re-verification.
+        """
+        if len(self.chain) and target <= self.chain.tip_number:
+            self.duplicates_ignored += 1
+            return self.chain.tip
         if not len(self.chain):
             self.bootstrap()
         while self.chain.tip_number < target:

@@ -44,6 +44,19 @@ class HeaderSyncer:
         self.chain = chain if chain is not None else HeaderChain()
         #: sources caught disagreeing with the quorum (candidate bad peers).
         self.suspects: set[int] = set()
+        #: headers fetched over the pull path (per *appended* header — a
+        #: replayed or redundant delivery never double-counts).
+        self.headers_fetched = 0
+        #: headers appended via the gossip push path (offer_header).
+        self.headers_pushed = 0
+        #: deliveries (pushed or pulled) the chain already had.
+        self.duplicates_ignored = 0
+        #: sync() calls satisfied from push freshness with zero source polls.
+        self.push_syncs_skipped = 0
+        # -- push mode (disabled until enable_push) ---------------------- #
+        self._push_clock: Optional[Any] = None
+        self._push_staleness = 0.0
+        self._last_push: Optional[float] = None
 
     # ------------------------------------------------------------------ #
     # Syncing
@@ -90,17 +103,115 @@ class HeaderSyncer:
         return heads[len(heads) // 2]
 
     def sync(self) -> BlockHeader:
-        """Catch up to the (median) network head; returns the new tip."""
+        """Catch up to the (median) network head; returns the new tip.
+
+        In push mode a fresh tip short-circuits: while gossiped
+        announcements keep arriving inside the staleness window no source
+        is polled at all — the pull machinery below is the fallback for a
+        quiet (partitioned, censored) topic, not the steady state.
+        """
+        if self.push_fresh() and len(self.chain):
+            self.push_syncs_skipped += 1
+            return self.chain.tip
         return self.sync_to(self.head_target())
 
     def sync_to(self, target: int) -> BlockHeader:
-        """Fetch and validate headers up to ``target``."""
+        """Fetch and validate headers up to ``target``.
+
+        Idempotent under redundant delivery: a target at or below the local
+        tip is already satisfied — no source is asked, nothing re-verifies,
+        and ``headers_fetched`` counts each height exactly once for the
+        lifetime of this syncer.
+        """
+        if len(self.chain) and target <= self.chain.tip_number:
+            self.duplicates_ignored += 1
+            return self.chain.tip
         start = self.chain.tip_number + 1 if len(self.chain) else 0
         for number in range(start, target + 1):
             self.chain.append(self._fetch_checked(number))
+            self.headers_fetched += 1
         if not len(self.chain):
             raise SyncError("nothing to sync: empty chain and target below start")
         return self.chain.tip
+
+    # ------------------------------------------------------------------ #
+    # Push mode (gossip-fed) with pull fallback
+    # ------------------------------------------------------------------ #
+
+    def enable_push(self, clock, staleness: float = 2.0) -> None:
+        """Accept gossiped headers; fall back to pull past ``staleness``.
+
+        ``clock`` is a callable returning the current (sim) time; it dates
+        announcements so :meth:`sync` can tell "the topic is quiet, poll"
+        from "a head arrived moments ago, the tip is trustworthy as-is".
+        """
+        self._push_clock = clock
+        self._push_staleness = float(staleness)
+        # the window opens now: a just-subscribed client starts fresh
+        # rather than pulling once before the first announcement lands
+        self._last_push = float(clock())
+
+    @property
+    def push_enabled(self) -> bool:
+        return self._push_clock is not None
+
+    def push_fresh(self, now: Optional[float] = None) -> bool:
+        """Whether the last pushed head is inside the staleness window."""
+        if self._push_clock is None or self._last_push is None:
+            return False
+        if now is None:
+            now = float(self._push_clock())
+        return (now - self._last_push) <= self._push_staleness
+
+    def offer_header(self, header: BlockHeader) -> str:
+        """Offer one (already externally vouched-for) header to the chain.
+
+        The push half of §V-D: continuity — number and parent-hash linkage
+        — is enforced by :meth:`HeaderChain.append` exactly as for pulled
+        headers; who may vouch (signature, stake, announcer quorum) is the
+        gossip domain's job *before* calling this.  Returns what happened:
+
+        * ``"appended"`` — it extended the tip;
+        * ``"known"``    — replay of a header we already hold (no work);
+        * ``"pulled"``   — it revealed a gap, which was filled by the
+          quorum pull path up to the header's height;
+        * ``"ignored"``  — unusable (empty chain with a non-anchor header,
+          conflicting hash at a held height, or broken linkage).
+        """
+        if not len(self.chain):
+            # an empty chain has no trust anchor to link against; pushing
+            # cannot bootstrap trust (checkpoint/genesis sync does that)
+            return "ignored"
+        tip = self.chain.tip
+        if header.number <= tip.number:
+            known = self.chain.get_header(header.number)
+            if known is not None and known.hash == header.hash:
+                self.duplicates_ignored += 1
+                self._stamp_push()
+                return "known"
+            return "ignored"
+        if header.number == tip.number + 1:
+            if header.parent_hash != tip.hash:
+                return "ignored"
+            try:
+                self.chain.append(header)
+            except HeaderChainError:
+                return "ignored"
+            self.headers_pushed += 1
+            self._stamp_push()
+            return "appended"
+        # a gap: the announcement proves the network moved — fill the hole
+        # through the quorum pull path, up to (and including) this height
+        try:
+            self.sync_to(header.number)
+        except SyncError:
+            return "ignored"
+        self._stamp_push()
+        return "pulled"
+
+    def _stamp_push(self) -> None:
+        if self._push_clock is not None:
+            self._last_push = float(self._push_clock())
 
     def _fetch_checked(self, number: int) -> BlockHeader:
         """Fetch header ``number``, requiring quorum agreement on its hash.

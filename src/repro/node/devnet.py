@@ -282,3 +282,29 @@ class Devnet:
         """Mine ``count`` empty blocks (to pass dispute/unbonding windows)."""
         for _ in range(count):
             self.chain.build_block()
+
+    def stake_of(self, address: Address) -> int:
+        """The deposit-registry stake of ``address`` (0 when unstaked) —
+        the Sybil-resistance view gossip weighs announcers/reporters by."""
+        return int(self.call_view(DEPOSIT_MODULE_ADDRESS, "deposit_of",
+                                  [address]))
+
+    def attach_gossip_mesh(self, network: Any, servers: Sequence[Any],
+                           name_prefix: str = "gossip",
+                           **gossip_kwargs: Any) -> list:
+        """Give each server a gossip node, fully meshed, announcing heads.
+
+        Returns the :class:`~repro.gossip.GossipNode` list (same order as
+        ``servers``).  Client gossip nodes can be created separately and
+        peered with any of these via ``add_peer`` — or appended to the
+        mesh with :func:`~repro.gossip.connect_mesh`.
+        """
+        from ..gossip import GossipNode, connect_mesh
+
+        nodes = []
+        for i, server in enumerate(servers):
+            node = GossipNode(network, f"{name_prefix}-{i}", **gossip_kwargs)
+            server.enable_gossip(node)
+            nodes.append(node)
+        connect_mesh(nodes)
+        return nodes

@@ -183,3 +183,38 @@ class WitnessService:
             )
         self.confirmed += 1
         return tx_hash
+
+    def submit_equivocation(self, proof, reporter: Optional[Address] = None) -> bytes:
+        """Submit a head-announcement equivocation proof on-chain.
+
+        ``proof`` is a :class:`repro.gossip.heads.HeadEquivocationProof`;
+        ``reporter`` (default: the witness itself) takes the defrauded-party
+        share of the slash.  Same contract as :meth:`submit` otherwise.
+        """
+        reporter = reporter if reporter is not None else self.address
+        calldata = encode_call("submit_head_equivocation", [
+            proof.first.header.encode(),
+            proof.first.signature,
+            proof.second.header.encode(),
+            proof.second.signature,
+            reporter,
+            self.address,
+        ])
+        sender = self.key.address
+        nonce = self.node.chain.state.nonce_of(sender)
+        tx = UnsignedTransaction(
+            nonce=nonce, gas_price=self.gas_price, gas_limit=self.gas_limit,
+            to=FRAUD_MODULE_ADDRESS, value=0, data=calldata,
+        ).sign(self.key)
+        tx_hash = self.node.submit_transaction(tx.encode())
+        location = self.node.ensure_mined(tx_hash)
+        self.submitted += 1
+        if location is None:
+            raise FraudProofError("equivocation transaction was not included")
+        receipt = self.node.chain.get_receipt(tx_hash)
+        if receipt is None or not receipt.succeeded:
+            raise FraudProofError(
+                "equivocation transaction reverted (no slash executed)"
+            )
+        self.confirmed += 1
+        return tx_hash

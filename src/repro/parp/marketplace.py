@@ -26,7 +26,7 @@ free of sign-up friction; this module supplies the missing client machinery:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from functools import cached_property
 from typing import Any, Optional, Sequence
 
@@ -64,6 +64,7 @@ from .sharding import shard_key_of_call
 from .verification import ResponseClass, VerificationReport
 from .reputation import (
     EVENT_CHANNEL_SETTLED,
+    EVENT_EQUIVOCATION,
     EVENT_FRAUD_DETECTED,
     EVENT_FRAUD_SLASHED,
     EVENT_INVALID_RESPONSE,
@@ -134,6 +135,10 @@ class ServerAdvertisement:
     #: the slice of the hashed-key space this server materializes;
     #: None advertises the whole state (a classic full-range server)
     shard: Optional[ShardRange] = None
+    #: when the directory last accepted this ad (stamped by a clocked
+    #: :class:`Marketplace` on advertise/republish); None in clockless
+    #: directories, which never expire ads
+    published_at: Optional[float] = None
 
     @classmethod
     def for_server(cls, server: Any, name: str = "",
@@ -179,14 +184,53 @@ class ServerAdvertisement:
 
 
 class Marketplace:
-    """The directory full nodes advertise in and clients select from."""
+    """The directory full nodes advertise in and clients select from.
 
-    def __init__(self) -> None:
+    With a ``clock`` every accepted advertisement is stamped, and
+    :meth:`sweep` expires servers that stopped refreshing — a directory
+    full of dead endpoints would otherwise keep absorbing connect
+    timeouts (and reputation penalties servers did nothing to earn).
+    ``ad_ttl=None`` (the default) keeps ads fresh forever, preserving the
+    clockless closed-world behavior tests rely on.
+    """
+
+    def __init__(self, clock=None, ad_ttl: Optional[float] = None) -> None:
         self._ads: dict[Address, ServerAdvertisement] = {}
+        self._clock = clock
+        self.ad_ttl = ad_ttl
+
+    def _now(self) -> Optional[float]:
+        return float(self._clock()) if self._clock is not None else None
 
     def advertise(self, ad: ServerAdvertisement) -> None:
         """Publish (or refresh) one server's advertisement."""
+        now = self._now()
+        if now is not None:
+            ad = replace(ad, published_at=now)
         self._ads[ad.address] = ad
+
+    def sweep(self, now: Optional[float] = None,
+              ttl: Optional[float] = None) -> list[Address]:
+        """Expire advertisements older than ``ttl`` (default: ``ad_ttl``).
+
+        Returns the dropped addresses.  Unstamped ads (published through a
+        clockless directory) and a ``ttl`` of None are both exempt — the
+        sweep only ever removes servers that *stopped* doing something
+        they demonstrably used to do (refresh via advertise/republish).
+        """
+        ttl = ttl if ttl is not None else self.ad_ttl
+        if ttl is None:
+            return []
+        if now is None:
+            now = self._now()
+        if now is None:
+            return []
+        dropped = [address for address, ad in self._ads.items()
+                   if ad.published_at is not None
+                   and now - ad.published_at > ttl]
+        for address in dropped:
+            del self._ads[address]
+        return dropped
 
     def advertise_server(self, server: Any, name: str = "",
                          endpoint: Optional[ServerEndpoint] = None,
@@ -405,6 +449,10 @@ class MarketplaceClient:
         self._headers = headers
         self._checkpoint = checkpoint
         self._clock = clock
+        #: gossip attachments (see :meth:`join_gossip`); None until joined
+        self.gossip = None
+        self.head_gossip = None
+        self.rep_share = None
         self._ticks = 0.0
         self._mismatch_noted: set[Address] = set()
         #: consecutive transport failures per server; at COLD_AFTER the
@@ -455,6 +503,53 @@ class MarketplaceClient:
             return float(self._clock())
         self._ticks += 1.0          # deterministic logical time
         return self._ticks
+
+    # ------------------------------------------------------------------ #
+    # Gossip (push heads + shared reputation)
+    # ------------------------------------------------------------------ #
+
+    def join_gossip(self, gossip, stake_of=None,
+                    staleness: Optional[float] = None):
+        """Attach this client to a gossip node: push-mode header sync on
+        ``new_heads`` plus shared reputation on ``reputation``.
+
+        ``stake_of`` maps an address to its deposit-registry stake; it
+        gates head announcements (only staked identities may announce)
+        and weighs foreign reputation events.  ``staleness`` is how long
+        the client trusts the push feed before falling back to pull
+        polling.  Returns ``(head_gossip, rep_share)``.
+        """
+        from ..gossip.heads import HeadGossip
+        from ..gossip.repshare import ReputationShare
+        clock = gossip.network.clock.now
+        if staleness is not None:
+            self.headers.enable_push(clock, staleness=staleness)
+        else:
+            self.headers.enable_push(clock)
+        self.gossip = gossip
+        self.head_gossip = HeadGossip(
+            gossip, self.headers, stake_of=stake_of,
+            reputation=self.reputation, witness=self.witness,
+            reporter=self.address,
+            # a caught equivocator is first-hand news worth sharing
+            on_equivocation=lambda proof: self._share_event(
+                proof.announcer, EVENT_EQUIVOCATION,
+                proof.evidence_digest()),
+        )
+        self.rep_share = ReputationShare(
+            gossip, self.reputation, self.key, stake_of=stake_of,
+        )
+        return self.head_gossip, self.rep_share
+
+    def _share_event(self, subject: Address, kind: str,
+                     detail: bytes = b"") -> None:
+        """Gossip a first-hand hard event (no-op before :meth:`join_gossip`;
+        non-gossipable kinds are kept local by the share layer)."""
+        if self.rep_share is None:
+            return
+        self.rep_share.publish(subject, kind,
+                               subject.to_bytes() + kind.encode("utf-8")
+                               + detail)
 
     # ------------------------------------------------------------------ #
     # Overload backoff (honoring a server's signed retry_after)
@@ -1225,6 +1320,8 @@ class MarketplaceClient:
                 kind = EVENT_INVALID_RESPONSE
                 self._retire_session(ad.address)  # §IV-F: terminate
                 tag = "invalid"
+                self._share_event(ad.address, kind,
+                                  exc.report.check.encode("utf-8"))
             self.reputation.record(ad.address, kind, self._now())
             return tag, f"{ad.label}: {kind} [{exc.report.check}]"
         if isinstance(exc, ServerOverloaded):
@@ -1277,6 +1374,10 @@ class MarketplaceClient:
             except FraudProofError:
                 pass  # evidence did not stick on-chain; local penalty stands
         self.reputation.record(ad.address, kind, self._now())
+        detail = (exc.package.calldata(self.address)
+                  if exc.package is not None
+                  else exc.report.check.encode("utf-8"))
+        self._share_event(ad.address, kind, detail)
 
     # ------------------------------------------------------------------ #
     # Typed conveniences (mirror LightClientSession's)

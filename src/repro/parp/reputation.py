@@ -80,6 +80,13 @@ class ReputationEvent:
     kind: str
     time: float
     weight: float
+    #: True when this event arrived over the reputation gossip topic rather
+    #: than from first-hand experience.  Remote events weigh into the score
+    #: but are **never** hard evidence: gossip alone cannot ban (see
+    #: :meth:`ReputationLedger.has_hard_negative`).
+    remote: bool = False
+    #: who vouched for a remote event (None for first-hand events).
+    reporter: Optional[Address] = None
 
 
 @dataclass
@@ -99,7 +106,13 @@ class ReputationLedger:
     #: threshold so a chronically shedding server sinks to last resort but
     #: stays selectable once every alternative is worse.
     soft_floor: float = 0.05
+    #: cap on the total |negative weight| one gossip reporter may land on
+    #: one subject — the poisoning bound: however many events a hostile
+    #: reporter signs, its influence on a victim's score saturates here.
+    remote_budget: float = 30.0
     _events: dict[Address, list[ReputationEvent]] = field(default_factory=dict)
+    _remote_spent: dict[tuple[Address, Address], float] = field(
+        default_factory=dict)
 
     def record(self, subject: Address, kind: str, time: float,
                weight: Optional[float] = None) -> None:
@@ -110,6 +123,41 @@ class ReputationLedger:
         self._events.setdefault(subject, []).append(
             ReputationEvent(subject, kind, time, weight)
         )
+
+    def merge_remote(self, subject: Address, kind: str, time: float,
+                     reporter: Address,
+                     discount: float = 1.0) -> Optional[ReputationEvent]:
+        """Fold one gossiped (foreign) event into the ledger.
+
+        The event's native weight is scaled by ``discount`` (the caller's
+        stake-derived confidence in the reporter, clamped to [0, 1]).
+        Negative influence is additionally capped by ``remote_budget`` per
+        (reporter, subject) pair, and the stored event is flagged
+        ``remote`` — so *no combination of gossiped events alone can
+        hard-ban*: :meth:`has_hard_negative` ignores remote evidence and a
+        purely-gossip-poisoned honest server bottoms out at ``soft_floor``
+        (last resort, still selectable), exactly like an overload storm.
+
+        Returns the recorded event, or None when the event carried no
+        admissible weight (zero discount or an exhausted budget).
+        """
+        if kind not in EVENT_KINDS:
+            raise ValueError(f"unknown reputation event kind {kind!r}")
+        weight = EVENT_WEIGHTS[kind] * max(0.0, min(1.0, discount))
+        if weight < 0:
+            key = (reporter, subject)
+            room = self.remote_budget - self._remote_spent.get(key, 0.0)
+            if room <= 0:
+                return None
+            weight = max(weight, -room)
+            self._remote_spent[key] = (self._remote_spent.get(key, 0.0)
+                                       - weight)
+        elif weight == 0.0:
+            return None
+        event = ReputationEvent(subject, kind, time, weight,
+                                remote=True, reporter=reporter)
+        self._events.setdefault(subject, []).append(event)
+        return event
 
     def events_of(self, subject: Address) -> tuple[ReputationEvent, ...]:
         """The raw event history for one address (oldest first)."""
@@ -126,8 +174,14 @@ class ReputationLedger:
 
     def has_hard_negative(self, subject: Address) -> bool:
         """Whether any recorded event is *hard* negative evidence —
-        a negative weight whose kind is not in :data:`SOFT_EVENT_KINDS`."""
+        a negative weight whose kind is not in :data:`SOFT_EVENT_KINDS`.
+
+        Remote (gossiped) events never qualify, whatever their kind: a ban
+        requires first-hand evidence, so reputation poisoning over gossip
+        can demote a server to last resort but can never exile it.
+        """
         return any(event.weight < 0 and event.kind not in SOFT_EVENT_KINDS
+                   and not event.remote
                    for event in self._events.get(subject, ()))
 
     def score(self, subject: Address, now: float) -> float:

@@ -143,6 +143,7 @@ class ServerStats:
     out_of_range_rejected: int = 0   # state-keyed calls outside the shard
     admitted: int = 0                # requests/batches past the admission gate
     shed: int = 0                    # signed Overloaded replies sent instead
+    heads_announced: int = 0         # signed head announcements gossiped
     bytes_in: int = 0
     bytes_out: int = 0
     fees_earned: int = 0
@@ -203,6 +204,9 @@ class FullNodeServer:
         self._registry_lock = threading.Lock()
         self._channel_locks: dict[bytes, threading.RLock] = {}
         self._stats_lock = threading.Lock()
+        #: the gossip node announcing this server's sealed heads (if any)
+        self.gossip = None
+        self._seal_listener = None
 
     @property
     def address(self) -> Address:
@@ -334,6 +338,37 @@ class FullNodeServer:
     def get_transaction_count(self, address: Address) -> int:
         """Free bootstrap query: the LC's nonce for channel transactions."""
         return self.node.chain.state.nonce_of(address)
+
+    # ------------------------------------------------------------------ #
+    # Gossip (push-based head propagation)
+    # ------------------------------------------------------------------ #
+
+    def enable_gossip(self, gossip) -> None:
+        """Announce every block this chain seals on the ``new_heads`` topic.
+
+        The announcement is the sealed header signed with the *operator
+        key* — the same identity that staked in the deposit registry, so
+        receivers can stake-gate announcers, and a later conflicting
+        announcement at the same height is slashable equivocation.
+        """
+        from ..gossip.heads import TOPIC_NEW_HEADS, HeadAnnouncement
+
+        if self._seal_listener is not None:
+            self.node.chain.remove_seal_listener(self._seal_listener)
+        self.gossip = gossip
+
+        def announce(block) -> None:
+            announcement = HeadAnnouncement.build(block.header, self.key)
+            gossip.publish(TOPIC_NEW_HEADS, announcement.encode())
+            self._bump("heads_announced")
+
+        self._seal_listener = self.node.chain.on_seal(announce)
+
+    def disable_gossip(self) -> None:
+        if self._seal_listener is not None:
+            self.node.chain.remove_seal_listener(self._seal_listener)
+            self._seal_listener = None
+        self.gossip = None
 
     def relay_transaction(self, raw_tx: bytes) -> bytes:
         """Free relay, restricted to PARP channel/fraud management calls."""

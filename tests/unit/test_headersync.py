@@ -140,3 +140,95 @@ class TestHeaderSyncer:
     def test_requires_sources(self):
         with pytest.raises(ValueError):
             HeaderSyncer([])
+
+
+class TestIdempotentDelivery:
+    """Regression: duplicate/redundant header delivery must not re-verify
+    or double-count ``headers_fetched``."""
+
+    def test_repeat_sync_to_same_target_is_free(self):
+        net = build_chain(4)
+        source = FullNode(net.chain, name="x")
+        syncer = HeaderSyncer([source])
+        syncer.sync()
+        assert syncer.headers_fetched == 5       # genesis..4
+
+        class Exploding:
+            def serve_head_number(self):
+                raise AssertionError("re-verification hit the source")
+
+            def serve_header(self, number):
+                raise AssertionError("re-verification hit the source")
+
+        syncer.sources = [Exploding()]           # any fetch would now blow up
+        tip = syncer.sync_to(4)                  # redundant delivery
+        assert tip.number == 4
+        assert syncer.headers_fetched == 5       # unchanged
+        assert syncer.duplicates_ignored == 1
+        syncer.sync_to(2)                        # below the tip: also free
+        assert syncer.duplicates_ignored == 2
+
+    def test_offer_header_replay_is_known_not_recounted(self):
+        net = build_chain(3)
+        syncer = HeaderSyncer([FullNode(net.chain, name="x")])
+        syncer.sync()
+        fetched = syncer.headers_fetched
+        tip = net.chain.head.header
+        assert syncer.offer_header(tip) == "known"
+        assert syncer.offer_header(tip) == "known"
+        assert syncer.headers_fetched == fetched
+        assert syncer.headers_pushed == 0
+        assert syncer.duplicates_ignored == 2
+
+    def test_offer_header_appends_then_dedups(self):
+        net = build_chain(2)
+        syncer = HeaderSyncer([FullNode(net.chain, name="x")])
+        syncer.sync()
+        net.advance_blocks(1)
+        new_tip = net.chain.head.header
+        assert syncer.offer_header(new_tip) == "appended"
+        assert syncer.offer_header(new_tip) == "known"
+        assert syncer.headers_pushed == 1
+        assert syncer.chain.tip_number == 3
+
+    def test_offer_header_rejects_conflicts_and_empty_chain(self):
+        net = build_chain(2)
+        syncer = HeaderSyncer([FullNode(net.chain, name="x")])
+        # empty local chain: no anchor to link against
+        assert syncer.offer_header(net.chain.head.header) == "ignored"
+        syncer.sync()
+        from dataclasses import replace
+
+        tip = net.chain.head.header
+        conflicting = replace(tip, timestamp=tip.timestamp + 7)
+        assert syncer.offer_header(conflicting) == "ignored"
+        net.advance_blocks(1)
+        broken = replace(net.chain.head.header, parent_hash=b"\x55" * 32)
+        assert syncer.offer_header(broken) == "ignored"
+        assert syncer.headers_pushed == 0
+
+    def test_push_freshness_skips_polling(self):
+        net = build_chain(2)
+        source = FullNode(net.chain, name="x")
+        syncer = HeaderSyncer([source])
+        syncer.sync()
+        clock = [0.0]
+        syncer.enable_push(lambda: clock[0], staleness=2.0)
+        assert syncer.push_enabled and syncer.push_fresh()
+
+        class Exploding:
+            def serve_head_number(self):
+                raise AssertionError("fresh push must not poll")
+
+            def serve_header(self, number):
+                raise AssertionError("fresh push must not poll")
+
+        syncer.sources = [Exploding()]
+        tip = syncer.sync()                      # fresh ⇒ no source touched
+        assert tip.number == 2
+        assert syncer.push_syncs_skipped == 1
+        clock[0] = 5.0                           # past staleness ⇒ pull again
+        assert not syncer.push_fresh()
+        syncer.sources = [source]
+        net.advance_blocks(1)
+        assert syncer.sync().number == 3
